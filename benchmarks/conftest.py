@@ -1,0 +1,55 @@
+"""Benchmark-suite fixtures.
+
+One :class:`ExperimentContext` is shared by every bench so the expensive
+artifacts (ground truth, Sparklens-augmented training data, the repeated
+cross-validation) are computed once per run.
+
+Every bench renders the paper-format series it regenerates through the
+``report`` fixture, which writes ``benchmarks/output/<name>.txt`` and
+echoes everything into the terminal summary — so the rows behind each
+figure are visible in ``bench_output.txt`` alongside pytest-benchmark's
+timing table.
+
+Set ``REPRO_FULL_PROTOCOL=1`` to run the paper's full protocol sizes
+(10-repeated 5-fold CV, 5 ground-truth repeats) instead of the reduced
+defaults.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import ExperimentContext
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext(seed=0)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable ``report(name, text)``: persist + echo a rendered figure."""
+
+    def _report(name: str, text: str) -> None:
+        OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        _REPORTS.append((name, text))
+
+    return _report
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced figures and tables")
+    for name, text in _REPORTS:
+        terminalreporter.write_sep("-", name)
+        terminalreporter.write_line(text)

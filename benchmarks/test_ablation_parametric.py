@@ -1,0 +1,126 @@
+"""Design ablation: the parametric PPM vs a non-parametric regressor.
+
+Section 3.4 argues for the parametric approach: one training row per query
+(103 rows) instead of one per (query, configuration) (103 x c rows), and
+one model score per query instead of one per candidate configuration.
+This bench quantifies the trade on our stack:
+
+  - dataset size: 103 vs 103 x 48 rows;
+  - training time and model size;
+  - scoring cost per query for 48 candidate configurations;
+  - accuracy of both at the sampled evaluation points.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.errors import e_metric
+from repro.core.features import FEATURE_NAMES
+from repro.export.format import export_model
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.model_selection import KFold
+
+REPORT_N = (1, 3, 8, 16, 32, 48)
+
+
+def _nonparametric_rows(dataset):
+    """One row per (query, n): features + n -> Sparklens time."""
+    grid = dataset.n_grid
+    X, y = [], []
+    for i, qid in enumerate(dataset.query_ids):
+        curve = dataset.sparklens_curves[qid]
+        for j, n in enumerate(grid):
+            X.append(np.append(dataset.features[i], float(n)))
+            y.append(curve[j])
+    return np.asarray(X), np.asarray(y)
+
+
+def test_ablation_parametric_vs_nonparametric(ctx, report, benchmark):
+    dataset = ctx.training_dataset(100)
+    actuals = ctx.actuals(100)
+    grid = dataset.n_grid
+
+    # --- train both on the same fold split -------------------------------
+    kf = KFold(5, shuffle=True, random_state=0)
+    train_idx, test_idx = next(kf.split(len(dataset.query_ids)))
+    train = dataset.subset(train_idx)
+    test_ids = [dataset.query_ids[i] for i in test_idx]
+
+    start = time.perf_counter()
+    parametric = train.fit_parameter_model("power_law")
+    t_param = time.perf_counter() - start
+
+    X_np, y_np = _nonparametric_rows(train)
+    start = time.perf_counter()
+    nonparametric = RandomForestRegressor(
+        n_estimators=100, random_state=0
+    ).fit(X_np, np.log(y_np))
+    t_nonparam = time.perf_counter() - start
+
+    size_param = len(str(export_model(parametric.estimator)))
+    size_nonparam = len(str(export_model(nonparametric)))
+
+    # --- score the test queries at all 48 candidates ----------------------
+    test_rows = np.stack(
+        [dataset.features[dataset.query_ids.index(q)] for q in test_ids]
+    )
+    start = time.perf_counter()
+    param_curves = {}
+    for qid, row in zip(test_ids, test_rows):
+        param_curves[qid] = parametric.predict_ppm(row).predict_curve(grid)
+    s_param = time.perf_counter() - start
+
+    start = time.perf_counter()
+    nonparam_curves = {}
+    for qid, row in zip(test_ids, test_rows):
+        batch = np.column_stack(
+            [np.tile(row, (len(grid), 1)), grid.astype(float)]
+        )
+        nonparam_curves[qid] = np.exp(nonparametric.predict(batch))
+    s_nonparam = time.perf_counter() - start
+
+    # --- accuracy ----------------------------------------------------------
+    errs = {"parametric": [], "nonparametric": []}
+    for n in REPORT_N:
+        col = int(np.nonzero(grid == n)[0][0])
+        actual = {q: actuals.times_by_query(n)[q] for q in test_ids}
+        errs["parametric"].append(
+            e_metric(actual, {q: float(param_curves[q][col]) for q in test_ids})
+        )
+        errs["nonparametric"].append(
+            e_metric(
+                actual, {q: float(nonparam_curves[q][col]) for q in test_ids}
+            )
+        )
+
+    report(
+        "ablation_parametric",
+        "Ablation — parametric PPM vs non-parametric (features + n) "
+        "regressor\n"
+        f"  training rows:   {len(train.query_ids)} vs {len(y_np)}\n"
+        f"  training time:   {1e3 * t_param:.0f} ms vs "
+        f"{1e3 * t_nonparam:.0f} ms\n"
+        f"  model size:      {size_param / 1e6:.2f} MB vs "
+        f"{size_nonparam / 1e6:.2f} MB (exported)\n"
+        f"  scoring (48 configs x {len(test_ids)} queries): "
+        f"{1e3 * s_param:.1f} ms vs {1e3 * s_nonparam:.1f} ms\n"
+        f"  E(n) parametric:    "
+        + " ".join(f"{e:.2f}" for e in errs["parametric"])
+        + f"\n  E(n) nonparametric: "
+        + " ".join(f"{e:.2f}" for e in errs["nonparametric"])
+        + "\npaper's argument: the parametric approach shrinks datasets, "
+        "models, and scoring cost; accuracy stays comparable",
+    )
+
+    assert len(y_np) == len(train.query_ids) * len(grid)
+    assert t_param < t_nonparam  # 48x fewer rows
+    assert size_param < size_nonparam
+    # parametric accuracy is not catastrophically worse anywhere
+    ratio = np.array(errs["parametric"]) / np.maximum(
+        np.array(errs["nonparametric"]), 1e-9
+    )
+    assert np.median(ratio) < 2.0
+
+    row = test_rows[0]
+    benchmark(lambda: parametric.predict_ppm(row).predict_curve(grid))

@@ -1,0 +1,49 @@
+"""Figure 2: production Spark workload insights (synthetic trace).
+
+Paper statistics being reproduced:
+  2a — >60 % of applications run more than one query (tail to thousands);
+  2b — median CoV across an app's queries: ≥20 % operator counts,
+       ≥40 % rows processed, ≥60 % query times;
+  2c — ~70 % of applications never share their cluster (tail to 64).
+"""
+
+import numpy as np
+
+from repro.experiments.figures import render_cdf
+from repro.workloads.production import generate_production_trace
+
+
+def test_fig02_production_insights(report, benchmark):
+    trace = generate_production_trace(n_applications=9_000, seed=0)
+
+    lines = [
+        "Figure 2 — production workload insights (synthetic trace, "
+        f"{trace.n_applications} apps / {trace.n_queries} queries)",
+        "",
+        "(a) " + render_cdf("queries per application", trace.queries_per_app),
+        f"    multi-query fraction: {100 * trace.multi_query_fraction():.0f}%"
+        "  (paper: >60%)",
+        "",
+        "(b) " + render_cdf("CoV operator counts (%)", trace.cov_operator_counts),
+        "    " + render_cdf("CoV rows processed (%)", trace.cov_rows_processed),
+        "    " + render_cdf("CoV query times    (%)", trace.cov_query_times),
+        f"    apps with CoV >= 20/40/60% (ops/rows/times): "
+        f"{100 * np.mean(trace.cov_operator_counts >= 20):.0f}% / "
+        f"{100 * np.mean(trace.cov_rows_processed >= 40):.0f}% / "
+        f"{100 * np.mean(trace.cov_query_times >= 60):.0f}%"
+        "  (paper: ~50% each)",
+        "",
+        "(c) " + render_cdf("max concurrent apps", trace.max_concurrent_apps),
+        f"    unshared-cluster fraction: "
+        f"{100 * trace.unshared_cluster_fraction():.0f}%  (paper: ~70%)",
+    ]
+    report("fig02_production_insights", "\n".join(lines))
+
+    assert trace.multi_query_fraction() > 0.60
+    assert np.mean(trace.cov_operator_counts >= 20) >= 0.45
+    assert np.mean(trace.cov_rows_processed >= 40) >= 0.45
+    assert np.mean(trace.cov_query_times >= 60) >= 0.45
+    assert 0.65 <= trace.unshared_cluster_fraction() <= 0.75
+
+    # benchmark kernel: trace generation at 1/10th size
+    benchmark(lambda: generate_production_trace(n_applications=900, seed=1))

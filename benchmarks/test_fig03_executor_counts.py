@@ -1,0 +1,74 @@
+"""Figure 3: executor counts in production and optimal counts for TPC-DS.
+
+  3a — among DA apps with custom thresholds, ~60 % use a range of just 2,
+       the rest growing to 64;
+  3b — 80 % of non-DA apps run the default 2 executors (total-cores tail
+       to 2048);
+  3c — the optimal executor count varies per query AND per scale factor
+       (1..48), which is why per-query prediction needs rich features.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import cdf_percentiles, render_cdf
+from repro.workloads.production import generate_production_trace
+
+
+def test_fig03ab_production_allocation(report, benchmark):
+    trace = generate_production_trace(n_applications=9_000, seed=0)
+    ranges = trace.custom_da_ranges()
+    static = trace.static_allocations()
+
+    lines = [
+        "Figure 3a/3b — allocation configuration in production (synthetic)",
+        "",
+        "(a) " + render_cdf("custom DA range", ranges),
+        f"    range == 2: {100 * np.mean(ranges == 2):.0f}%  (paper: ~60%)"
+        f";  max range: {ranges.max()}  (paper: 64)",
+        f"    DA enabled: {100 * trace.da_fraction():.0f}% (paper 59%), "
+        f"default thresholds kept: "
+        f"{100 * trace.default_threshold_fraction():.0f}% (paper 97%)",
+        "",
+        "(b) " + render_cdf("static executor count", static),
+        "    " + render_cdf("static total cores", trace.static_total_cores()),
+        f"    executors == 2: {100 * np.mean(static == 2):.0f}%  (paper: 80%)",
+    ]
+    report("fig03ab_production_allocation", "\n".join(lines))
+
+    assert 0.5 <= np.mean(ranges == 2) <= 0.7
+    assert 0.75 <= np.mean(static == 2) <= 0.85
+
+    benchmark(lambda: generate_production_trace(n_applications=900, seed=2).custom_da_ranges())
+
+
+def test_fig03c_optimal_executors(ctx, report, benchmark):
+    rows = []
+    optima_by_sf = {}
+    for sf in (10, 100):
+        actuals = ctx.actuals(sf)
+        optima = np.array(
+            [actuals.optimal_executors(q) for q in actuals.query_ids]
+        )
+        optima_by_sf[sf] = optima
+        pct = cdf_percentiles(optima, percentiles=(10, 25, 50, 75, 90))
+        rows.append(
+            f"  SF={sf:<4d} optimal n: "
+            + ", ".join(f"p{p}={v:.0f}" for p, v in pct.items())
+            + f", range [{optima.min()}, {optima.max()}]"
+        )
+    report(
+        "fig03c_optimal_executors",
+        "Figure 3c — optimal executor counts per query (TPC-DS)\n"
+        + "\n".join(rows)
+        + "\npaper: optima vary from ~1 up to 48 and shift right with SF",
+    )
+
+    # SF=100 optima stochastically dominate SF=10 optima
+    assert np.median(optima_by_sf[100]) > np.median(optima_by_sf[10])
+    assert optima_by_sf[10].min() <= 4
+    assert optima_by_sf[100].max() >= 40
+
+    actuals100 = ctx.actuals(100)
+    benchmark(
+        lambda: [actuals100.optimal_executors(q) for q in actuals100.query_ids[:20]]
+    )

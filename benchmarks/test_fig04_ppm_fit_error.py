@@ -1,0 +1,70 @@
+"""Figure 4: how well the two PPM families fit Sparklens estimates.
+
+Paper: fitting AE_PL and AE_AL to Sparklens estimates of all TPC-DS
+SF=100 queries, AE_AL fits better for n < 32 while AE_PL fits better
+beyond; combining the two per range keeps the error at ~7 % or less.
+"""
+
+import numpy as np
+
+from repro.core.ppm import fit_amdahl, fit_power_law
+from repro.experiments.figures import render_series_table
+
+REPORT_N = (1, 3, 8, 12, 16, 24, 32, 48)
+
+
+def _fit_errors(dataset, n_values):
+    """Errors of the *stored labels* (fitted at the paper's 6-point grid)
+    against the Sparklens curves, evaluated at ``n_values``."""
+    from repro.core.ppm import AmdahlPPM, PowerLawPPM
+
+    grid = dataset.n_grid
+    cols = np.searchsorted(grid, n_values)
+    err = {"AE_PL": np.zeros(len(n_values)), "AE_AL": np.zeros(len(n_values))}
+    tot = np.zeros(len(n_values))
+    for i, qid in enumerate(dataset.query_ids):
+        curve = dataset.sparklens_curves[qid]
+        pl = PowerLawPPM(*dataset.power_law_params[i]).predict_curve(grid)
+        al = AmdahlPPM(*dataset.amdahl_params[i]).predict_curve(grid)
+        err["AE_PL"] += np.abs(pl[cols] - curve[cols])
+        err["AE_AL"] += np.abs(al[cols] - curve[cols])
+        tot += curve[cols]
+    return {k: v / tot for k, v in err.items()}
+
+
+def test_fig04_ppm_fit_error(ctx, report, benchmark):
+    dataset = ctx.training_dataset(100)
+    errors = _fit_errors(dataset, REPORT_N)
+
+    report(
+        "fig04_ppm_fit_error",
+        "Figure 4 — PPM fit error vs Sparklens estimates (TPC-DS SF=100)\n"
+        + render_series_table(
+            "n", REPORT_N, errors, float_format="{:10.3f}"
+        )
+        + "\npaper: AE_AL better for n<32, AE_PL better beyond; "
+        "best-per-range error <= ~7%",
+    )
+
+    n = np.array(REPORT_N)
+    small = n < 32
+    large = n >= 32
+    # AE_AL fits the (Amdahl-shaped) Sparklens curves better at small n
+    assert errors["AE_AL"][small].mean() < errors["AE_PL"][small].mean()
+    # AE_PL's saturation term wins at large n
+    assert errors["AE_PL"][large].mean() <= errors["AE_AL"][large].mean()
+    # best-per-range error stays small (paper: ~7%; our curves saturate
+    # a little earlier, pushing the knee error slightly higher)
+    best = np.where(small, errors["AE_AL"], errors["AE_PL"])
+    assert best.max() < 0.15
+    assert best.mean() < 0.07
+
+    # benchmark kernel: fitting both families for one query
+    curve = dataset.sparklens_curves[dataset.query_ids[0]]
+    grid = dataset.n_grid
+
+    def fit_both():
+        fit_power_law(grid, curve)
+        fit_amdahl(grid, curve)
+
+    benchmark(fit_both)

@@ -1,0 +1,57 @@
+"""Figure 8: predicted vs actual run-time curves for a held-out query.
+
+The paper plots Sparklens estimates, AE_PL and AE_AL predictions (trained
+without q94), and q94's actual run times: predictions differ most at small
+n but the curve *shapes* agree, converging at higher executor counts.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import render_series_table, sparkline
+
+REPORT_N = (1, 3, 8, 16, 32, 48)
+
+
+def test_fig08_time_prediction_q94(ctx, report, benchmark):
+    cv = ctx.cross_validation(100)
+    actuals = ctx.actuals(100)
+    dataset = ctx.training_dataset(100)
+    grid = cv.n_grid
+    cols = np.searchsorted(grid, REPORT_N)
+
+    # find a fold where q94 is a *test* query (never trained on)
+    fold = next(f for f in cv.folds if "q94" in f.test_ids)
+    series = {
+        "S": dataset.sparklens_curves["q94"][cols],
+        "AE_PL": fold.predicted_curves["power_law"]["q94"][cols],
+        "AE_AL": fold.predicted_curves["amdahl"]["q94"][cols],
+        "Actual": actuals.curve("q94", grid)[cols],
+    }
+
+    lines = [
+        "Figure 8 — q94 SF=100, held out of training",
+        render_series_table("n", REPORT_N, series, float_format="{:10.1f}"),
+        "",
+        "shapes: "
+        + "  ".join(
+            f"{k}={sparkline(v)}" for k, v in series.items()
+        ),
+        "paper: predictions diverge at n=1 but the curves share the same "
+        "shape and converge at higher n",
+    ]
+    report("fig08_time_prediction", "\n".join(lines))
+
+    actual = series["Actual"]
+    for name in ("S", "AE_PL", "AE_AL"):
+        pred = series[name]
+        # curves converge at high executor counts ...
+        rel_at_48 = abs(pred[-1] - actual[-1]) / actual[-1]
+        assert rel_at_48 < 0.6
+        # ... and every curve decreases steeply from n=1 like the actual
+        assert pred[0] > 1.5 * pred[-1]
+        assert actual[0] > 1.5 * actual[-1]
+
+    # benchmark kernel: scoring the model once and evaluating the curve
+    model = dataset.fit_parameter_model("power_law")
+    row = dataset.features[dataset.query_ids.index("q94")]
+    benchmark(lambda: model.predict_ppm(row).predict_curve(grid))

@@ -1,0 +1,75 @@
+"""Figure 9: E(n) for Sparklens, AE_PL, AE_AL — training and testing.
+
+Paper observations being reproduced (Section 5.2):
+  - errors are largest at small n, smallest at intermediate n,
+    intermediate at large n — for fit (train) and prediction (test) alike;
+  - the pattern matches Sparklens's own estimation error because the
+    models are trained on Sparklens-augmented data (bias, not variance);
+  - AE_AL fits better than AE_PL at small n, but AE_PL predicts better at
+    n = 1 and 48.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import render_series_table
+
+REPORT_N = (1, 3, 8, 16, 32, 48)
+
+
+def test_fig09_prediction_error(ctx, report, benchmark):
+    cv = ctx.cross_validation(100)
+
+    tables = []
+    series_by_split = {}
+    for split in ("train", "test"):
+        series = {
+            "S": np.array(
+                [cv.mean_error_at("sparklens", n, "test") for n in REPORT_N]
+            ),
+            "AE_PL": np.array(
+                [cv.mean_error_at("power_law", n, split) for n in REPORT_N]
+            ),
+            "AE_AL": np.array(
+                [cv.mean_error_at("amdahl", n, split) for n in REPORT_N]
+            ),
+        }
+        series_by_split[split] = series
+        std = {
+            f"{k}_sd": np.array(
+                [
+                    cv.error_at(
+                        "power_law" if k == "AE_PL" else "amdahl", n, split
+                    ).std()
+                    for n in REPORT_N
+                ]
+            )
+            for k in ("AE_PL", "AE_AL")
+        }
+        tables.append(
+            f"({'a' if split == 'train' else 'b'}) {split} dataset E(n):\n"
+            + render_series_table(
+                "n", REPORT_N, {**series, **std}, float_format="{:10.3f}"
+            )
+        )
+    report(
+        "fig09_prediction_error",
+        "Figure 9 — E(n), "
+        f"{ctx.cv_repeats}-repeated 5-fold cross-validation, TPC-DS SF=100\n"
+        + "\n\n".join(tables)
+        + "\npaper: errors largest at small n, smallest mid-range; models "
+        "track Sparklens bias; not over-fitted",
+    )
+
+    test = series_by_split["test"]
+    train = series_by_split["train"]
+    for family in ("AE_PL", "AE_AL"):
+        errs = test[family]
+        assert errs[0] == errs.max()  # n=1 dominates
+        assert errs[1:3].min() < 0.75 * errs[0]  # mid-range dip
+        # bias-dominated: test errors within ~2x of train errors
+        assert np.all(test[family] <= train[family] * 2.0 + 0.05)
+    # AE_PL better than AE_AL at the extremes (paper's closing remark)
+    assert test["AE_PL"][-1] < test["AE_AL"][-1]
+
+    # benchmark kernel: one fold's error evaluation
+    benchmark(lambda: [cv.mean_error_at("power_law", n) for n in REPORT_N])

@@ -1,0 +1,69 @@
+"""Figure 11: the distribution of elbow points L (Equations 7-9).
+
+Paper findings reproduced: the vast majority of queries have L = 8 on the
+actual curves (a handful land lower); AE_AL's predicted elbow is *always*
+7 (a closed-form property of s + p/n on the [1, 48] grid); AE_PL's elbows
+land on 8, 9, or 10.
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.core.selection import elbow_point
+
+
+def _elbow_distribution(cv, actuals, dataset, source):
+    grid = cv.n_grid
+    elbows = []
+    for fold in cv.folds:
+        for qid in fold.test_ids:
+            if source == "actual":
+                curve = actuals.curve(qid, grid)
+            elif source == "sparklens":
+                curve = dataset.sparklens_curves[qid]
+            else:
+                curve = fold.predicted_curves[source][qid]
+            elbows.append(elbow_point(grid, curve))
+    return elbows
+
+
+def test_fig11_elbow_points(ctx, report, benchmark):
+    cv = ctx.cross_validation(100)
+    actuals = ctx.actuals(100)
+    dataset = ctx.training_dataset(100)
+
+    lines = ["Figure 11 — elbow point L distribution (TPC-DS SF=100)"]
+    dists = {}
+    for label, source in (
+        ("Actual", "actual"),
+        ("S", "sparklens"),
+        ("AE_PL", "power_law"),
+        ("AE_AL", "amdahl"),
+    ):
+        elbows = _elbow_distribution(cv, actuals, dataset, source)
+        dists[label] = elbows
+        counts = Counter(elbows)
+        dist = ", ".join(
+            f"L={l}: {100 * c / len(elbows):.0f}%"
+            for l, c in sorted(counts.items())
+        )
+        lines.append(f"  {label:>7s}: median {np.median(elbows):.0f}  ({dist})")
+    lines.append(
+        "paper: Actual mostly L=8 (13/103 lower); Sparklens ~8; AE_AL "
+        "always 7; AE_PL in {8, 9, 10}"
+    )
+    report("fig11_elbow_points", "\n".join(lines))
+
+    assert set(dists["AE_AL"]) == {7}  # the closed-form property
+    assert 7 <= np.median(dists["Actual"]) <= 9
+    counts_pl = Counter(dists["AE_PL"])
+    in_8_10 = sum(c for l, c in counts_pl.items() if 8 <= l <= 10)
+    assert in_8_10 / len(dists["AE_PL"]) > 0.7
+    # elbows cluster tightly: predictions usable as the default strategy
+    assert np.percentile(np.abs(
+        np.array(dists["AE_PL"]) - np.median(dists["Actual"])
+    ), 90) <= 3
+
+    curve = actuals.curve("q94", cv.n_grid)
+    benchmark(lambda: elbow_point(cv.n_grid, curve))

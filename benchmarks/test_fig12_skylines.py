@@ -1,0 +1,80 @@
+"""Figure 12: executor allocation skylines for q94 under four policies.
+
+Paper numbers (q94 SF=100): SA(48) and SA(25) run in similar time but the
+latter slashes AUC 1904 -> 1022; the Rule request (25 during optimization,
+from n=5) lands at AUC 729 vs DA's 1250, with a ~27 s lag between the
+request and the full allocation.  The reproduction targets the ordering
+SA(48) > DA > SA(rule) ~ Rule on AUC and the visible provisioning ramp.
+"""
+
+import numpy as np
+
+from repro.core.selection import limited_slowdown
+from repro.engine.allocation import (
+    DynamicAllocation,
+    PredictiveAllocation,
+    StaticAllocation,
+)
+from repro.engine.scheduler import simulate_query
+
+
+def test_fig12_skylines(ctx, report, benchmark):
+    workload = ctx.workload(100)
+    cluster = ctx.cluster
+    cv = ctx.cross_validation(100)
+    graph = workload.stage_graph("q94")
+
+    # the Rule's executor count: AE_PL prediction at H=1.05, as in the paper
+    fold = next(f for f in cv.folds if "q94" in f.test_ids)
+    rule_n = limited_slowdown(
+        cv.n_grid, fold.predicted_curves["power_law"]["q94"], 1.05
+    )
+
+    policies = {
+        "DA(1,48)": DynamicAllocation(1, 48),
+        "SA(48)": StaticAllocation(48),
+        f"SA({rule_n})": StaticAllocation(rule_n),
+        f"Rule({rule_n})": PredictiveAllocation(rule_n, initial_executors=5),
+    }
+    results = {
+        name: simulate_query(graph, policy, cluster)
+        for name, policy in policies.items()
+    }
+
+    lines = [
+        f"Figure 12 — q94 SF=100 skylines (Rule predicted n={rule_n})",
+        f"{'policy':>10} {'time_s':>8} {'AUC_es':>8} {'max_n':>6}  skyline steps",
+    ]
+    for name, r in results.items():
+        steps = ", ".join(
+            f"{t:.0f}s:{c}" for t, c in r.skyline.points[:8]
+        )
+        lines.append(
+            f"{name:>10} {r.runtime:8.1f} {r.auc:8.0f} "
+            f"{r.max_executors:6d}  [{steps}]"
+        )
+    lines.append(
+        "paper: SA(48) AUC 1904, SA(25) 1022, DA 1250, Rule 729; Rule's "
+        "full allocation lags the request by ~27 s"
+    )
+    report("fig12_skylines", "\n".join(lines))
+
+    rule = results[f"Rule({rule_n})"]
+    da = results["DA(1,48)"]
+    sa48 = results["SA(48)"]
+    sa_rule = results[f"SA({rule_n})"]
+
+    # AUC ordering: SA(48) worst, Rule best
+    assert sa48.auc > da.auc > rule.auc
+    assert sa_rule.auc >= rule.auc * 0.9
+    # SA(48) and SA(rule) runtimes are close (the plateau premise)
+    assert sa_rule.runtime < sa48.runtime * 1.4
+    # the Rule run shows a provisioning ramp: starts at 5, ends at rule_n
+    assert rule.skyline.value_at(0.0) == 5
+    assert rule.max_executors == rule_n
+    ramp_end = max(t for t, _ in rule.skyline.points)
+    assert 2.0 <= ramp_end <= 35.0  # the paper's ~20-30 s lag
+
+    benchmark(
+        lambda: simulate_query(graph, DynamicAllocation(1, 48), cluster).auc
+    )

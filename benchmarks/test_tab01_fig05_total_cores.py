@@ -1,0 +1,111 @@
+"""Table 1 + Figure 5: the impact of total cores k = n x ec.
+
+The paper runs the Table 1 grid of (cores-per-executor, executors)
+configurations and shows that run times line up on the total-core count
+``k`` regardless of how it factorizes (Figure 5a/5b), with the relative
+error of interpolating from the ec=4 series averaging 8.8 % — 68.4 % of
+points within ±10 % and 92.9 % within ±20 % (Figure 5c).
+"""
+
+import numpy as np
+
+from repro.core.cores import CONFIG_GRID_TABLE1
+from repro.engine.allocation import StaticAllocation
+from repro.engine.cluster import Cluster, ExecutorSpec, NodeSpec
+from repro.engine.scheduler import simulate_query
+from repro.experiments.figures import render_series_table
+from repro.experiments.runtime_data import noise_sigma
+
+
+def _cluster_for(ec: int) -> Cluster:
+    """A pool whose executors are ec cores wide, memory held at 7 GB/core."""
+    return Cluster(
+        node=NodeSpec(cores=8, memory_gb=64.0),
+        executor=ExecutorSpec(cores=ec, memory_gb=7.0 * ec),
+        max_nodes=96,
+        max_executors_per_node=max(1, 8 // ec),
+    )
+
+
+def _runtime(graph, n: int, ec: int, rng, repeats: int = 3) -> float:
+    """Averaged noisy runtime, mirroring the paper's repeated runs."""
+    result = simulate_query(graph, StaticAllocation(n), _cluster_for(ec))
+    k = n * ec
+    sigma = noise_sigma(max(k // 4, 1))
+    factors = rng.lognormal(0.0, sigma, size=repeats)
+    return result.runtime * float(factors.mean())
+
+
+def test_tab01_fig05ab_example_queries(ctx, report, benchmark):
+    workload = ctx.workload(100)
+    rng = np.random.default_rng(0)
+
+    lines = [
+        "Table 1 grid + Figure 5a/5b — run time vs total cores k "
+        "for q94 and q69 (SF=100)",
+        f"{'ec':>4} {'n':>4} {'k':>5} {'q94_t':>9} {'q69_t':>9}",
+    ]
+    series = {}
+    for ec, n, k in CONFIG_GRID_TABLE1:
+        t94 = _runtime(workload.stage_graph("q94"), n, ec, rng)
+        t69 = _runtime(workload.stage_graph("q69"), n, ec, rng)
+        series[(ec, k)] = (t94, t69)
+        lines.append(f"{ec:>4} {n:>4} {k:>5} {t94:9.1f} {t69:9.1f}")
+    lines.append(
+        "paper: points with different ec land on (or near) the ec=4 trend "
+        "line for the same k"
+    )
+    report("tab01_fig05ab_total_cores", "\n".join(lines))
+
+    # same k, different factorization -> similar time (q94, k=32):
+    t_2x16 = series[(2, 32)][0]
+    t_4x8 = series[(4, 32)][0]
+    assert abs(t_2x16 - t_4x8) / t_4x8 < 0.25
+
+    benchmark(
+        lambda: simulate_query(
+            workload.stage_graph("q69"), StaticAllocation(3), _cluster_for(6)
+        ).runtime
+    )
+
+
+def test_fig05c_error_distribution(ctx, report, benchmark):
+    """Interpolation error from the ec=4 series, all queries x 6 configs."""
+    workload = ctx.workload(100)
+    rng = np.random.default_rng(1)
+    ec4_grid = [(n, n * 4) for ec, n, k in CONFIG_GRID_TABLE1 if ec == 4]
+    other = [(ec, n, k) for ec, n, k in CONFIG_GRID_TABLE1 if ec != 4]
+
+    errors = []
+    for qid in workload:
+        graph = workload.stage_graph(qid)
+        base_k = np.array([k for _, k in ec4_grid], dtype=float)
+        base_t = np.array(
+            [_runtime(graph, n, 4, rng) for n, _ in ec4_grid]
+        )
+        order = np.argsort(base_k)
+        for ec, n, k in other:
+            t = _runtime(graph, n, ec, rng)
+            t_interp = float(np.interp(k, base_k[order], base_t[order]))
+            errors.append(1.0 - t / t_interp)
+    errors = 100.0 * np.array(errors)
+
+    abs_err = np.abs(errors)
+    within10 = float(np.mean(abs_err <= 10.0))
+    within20 = float(np.mean(abs_err <= 20.0))
+    report(
+        "fig05c_error_distribution",
+        "Figure 5c — relative error of estimating ec!=4 runs from the "
+        "ec=4 trend (all queries, 6 configs each)\n"
+        f"  points: {errors.size}\n"
+        f"  mean |error|: {abs_err.mean():.1f}%   (paper: 8.8%)\n"
+        f"  within [-10%, +10%]: {100 * within10:.1f}%   (paper: 68.4%)\n"
+        f"  within [-20%, +20%]: {100 * within20:.1f}%   (paper: 92.9%)",
+    )
+
+    assert abs_err.mean() < 15.0
+    assert within10 > 0.55
+    assert within20 > 0.85
+
+    graph = workload.stage_graph("q42")
+    benchmark(lambda: _runtime(graph, 16, 8, np.random.default_rng(2)))

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Figure 7 scenario: an interactive notebook session with AutoExecutor.
+
+A data scientist runs two ad-hoc queries with think time in between.
+AutoExecutor predicts the executor count for each query during
+optimization (predictive allocation), and between queries the reactive
+deallocation releases idle executors — the hybrid of Section 4.6.
+
+The script prints the application-level executor skyline so the Figure 7
+shape (ramp to prediction #1, idle release, ramp to prediction #2) is
+visible in text.
+
+Run:  python examples/interactive_session.py
+"""
+
+from __future__ import annotations
+
+from repro import AutoExecutor, Workload
+from repro.engine.cluster import Cluster
+from repro.engine.optimizer import Optimizer
+from repro.engine.session import SparkApplication
+
+
+def render_skyline(app: SparkApplication, width: int = 72) -> str:
+    """ASCII executor skyline over the application lifetime."""
+    end = app.clock
+    rows = []
+    peak = max(c for _, c in app.skyline.points)
+    for level in range(peak, 0, -1):
+        row = ""
+        for i in range(width):
+            t = end * i / (width - 1)
+            row += "#" if app.skyline.value_at(t) >= level else " "
+        rows.append(f"{level:3d} |{row}")
+    rows.append("    +" + "-" * width)
+    rows.append(f"     0s{'':>{width - 12}}{end:7.0f}s")
+    return "\n".join(rows)
+
+
+def main() -> None:
+    workload = Workload(scale_factor=100)
+    cluster = Cluster()
+
+    print("training AutoExecutor ...")
+    system = AutoExecutor(family="power_law").train(workload, cluster)
+
+    optimizer = Optimizer()
+    optimizer.inject_rule(system.make_rule())
+    app = SparkApplication(
+        cluster=cluster,
+        optimizer=optimizer,
+        default_executors=2,   # the production default the paper criticizes
+        idle_timeout=30.0,
+    )
+
+    print("\n-- user submits query q23 --")
+    row1 = app.run_query(workload.plan("q23"))
+    print(
+        f"   AutoExecutor requested {row1.executors_requested} executors; "
+        f"finished in {row1.runtime:.1f} s "
+        f"(occupancy {row1.auc:.0f} executor-seconds)"
+    )
+
+    print("-- user reads the results for 90 s (idle) --")
+    app.idle(90.0)
+    print(
+        "   reactive deallocation released the fleet to "
+        f"{app.skyline.value_at(app.clock - 1.0)} executor(s)"
+    )
+
+    print("-- user submits query q59 --")
+    row2 = app.run_query(workload.plan("q59"))
+    print(
+        f"   AutoExecutor requested {row2.executors_requested} executors; "
+        f"finished in {row2.runtime:.1f} s "
+        f"(occupancy {row2.auc:.0f} executor-seconds)"
+    )
+
+    print(
+        f"\napplication skyline "
+        f"(total occupancy {app.total_occupancy():.0f} executor-seconds):\n"
+    )
+    print(render_skyline(app))
+
+
+if __name__ == "__main__":
+    main()

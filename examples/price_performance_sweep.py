@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Price-performance frontier: sweeping the slowdown budget H.
+
+The same predicted PPM serves every objective (Section 3.1): this example
+trains once, then sweeps the limited-slowdown threshold
+H ∈ {1.0, 1.05, 1.1, 1.2, 1.5, 2.0} and reports, per H, the average
+selected executor count, the realized slowdown against the true optimum,
+and the executor occupancy — the knobs a platform operator would trade
+off (Figure 10's experiment as a user-facing tool).
+
+Run:  python examples/price_performance_sweep.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AutoExecutor, Workload
+from repro.core.selection import limited_slowdown
+from repro.engine.allocation import StaticAllocation
+from repro.engine.cluster import Cluster
+from repro.engine.scheduler import simulate_query
+from repro.experiments.runtime_data import collect_actual_runtimes
+from repro.workloads.tpcds import QUERY_IDS
+
+H_VALUES = (1.0, 1.05, 1.1, 1.2, 1.5, 2.0)
+
+
+def main() -> None:
+    # hold out every 4th query for evaluation
+    eval_ids = QUERY_IDS[::4]
+    train_ids = tuple(q for q in QUERY_IDS if q not in set(eval_ids))
+    cluster = Cluster()
+
+    print(f"training on {len(train_ids)} queries, "
+          f"evaluating on {len(eval_ids)} held-out queries ...")
+    system = AutoExecutor(family="power_law").train(
+        Workload(scale_factor=100, query_ids=train_ids), cluster
+    )
+
+    eval_workload = Workload(scale_factor=100, query_ids=eval_ids)
+    actuals = collect_actual_runtimes(eval_workload, cluster, repeats=3)
+    grid = np.arange(1, 49)
+
+    print(f"\n{'H':>6} {'avg n':>7} {'avg slowdown':>13} "
+          f"{'avg occupancy':>14} {'vs H=1 occ.':>12}")
+    base_occupancy = None
+    for h in H_VALUES:
+        chosen_n, slowdowns, occupancy = [], [], []
+        for qid in eval_ids:
+            curve = system.predict_curve(eval_workload.optimized_plan(qid))
+            n = limited_slowdown(grid, curve, h)
+            chosen_n.append(n)
+            actual_curve = actuals.curve(qid, grid)
+            slowdowns.append(actual_curve[n - 1] / actual_curve.min())
+            result = simulate_query(
+                eval_workload.stage_graph(qid), StaticAllocation(n), cluster
+            )
+            occupancy.append(result.auc)
+        occ = float(np.mean(occupancy))
+        if base_occupancy is None:
+            base_occupancy = occ
+        print(
+            f"{h:6.2f} {np.mean(chosen_n):7.1f} "
+            f"{np.mean(slowdowns):12.2f}x {occ:13.0f}es "
+            f"{100 * (occ / base_occupancy - 1):+11.0f}%"
+        )
+
+    print(
+        "\nreading: larger slowdown budgets trade a little latency for "
+        "substantially fewer executors and lower occupancy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: train AutoExecutor and pick executor counts per query.
+
+This walks the paper's core loop end to end on a small TPC-DS-like
+workload:
+
+1. build the workload (plans + simulated cluster);
+2. train the price-performance parameter model — each training query runs
+   *once* at n=16, Sparklens extrapolates its full t(n) curve, and the
+   fitted PPM parameters become the training targets;
+3. predict the run-time curve for a query the model never saw;
+4. select the executor count for two objectives: "fastest with fewest
+   executors" (H=1) and the elbow point.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AutoExecutor, Workload
+from repro.core.selection import elbow_point, limited_slowdown
+from repro.engine.allocation import StaticAllocation
+from repro.engine.cluster import Cluster
+from repro.engine.scheduler import simulate_query
+from repro.experiments.figures import sparkline
+from repro.workloads.tpcds import QUERY_IDS
+
+
+def main() -> None:
+    # --- 1. the workload and the cluster --------------------------------
+    train_ids = tuple(q for q in QUERY_IDS if q != "q94")
+    workload = Workload(scale_factor=100, query_ids=train_ids)
+    cluster = Cluster()  # 8-core/64 GB nodes, 4-core/28 GB executors
+
+    # --- 2. train (one run per query at n=16 + Sparklens augmentation) --
+    print("training AutoExecutor (power-law PPM) on 102 queries ...")
+    system = AutoExecutor(family="power_law").train(workload, cluster)
+
+    # --- 3. predict the curve for an unseen query -----------------------
+    target = Workload(scale_factor=100, query_ids=("q94",))
+    plan = target.optimized_plan("q94")
+    grid = np.arange(1, 49)
+    curve = system.predict_curve(plan)
+    print("\npredicted t(n) for held-out q94 (n = 1..48):")
+    print("  ", sparkline(curve))
+    for n in (1, 3, 8, 16, 32, 48):
+        print(f"   n={n:2d}  predicted {curve[n - 1]:7.1f} s")
+
+    # --- 4. pick the operating point -------------------------------------
+    n_fast = limited_slowdown(grid, curve, target_slowdown=1.0)
+    n_balanced = limited_slowdown(grid, curve, target_slowdown=1.2)
+    n_elbow = elbow_point(grid, curve)
+    print(f"\nselected executor counts for q94:")
+    print(f"   fastest w/ fewest executors (H=1.0): n={n_fast}")
+    print(f"   balanced (H=1.2):                    n={n_balanced}")
+    print(f"   elbow point (paper default):         n={n_elbow}")
+
+    # --- validate against the simulator ----------------------------------
+    graph = target.stage_graph("q94")
+    print("\nactual simulated run times:")
+    for label, n in (("chosen", n_elbow), ("default-2", 2), ("max-48", 48)):
+        result = simulate_query(graph, StaticAllocation(n), cluster)
+        print(
+            f"   {label:>10s} n={n:2d}: {result.runtime:7.1f} s, "
+            f"occupancy {result.auc:8.0f} executor-seconds"
+        )
+
+
+if __name__ == "__main__":
+    main()

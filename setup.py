@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The metadata lives in pyproject.toml; this file exists so the package can
+be installed in environments whose tooling predates PEP 660 editable
+installs (e.g. ``python setup.py develop`` without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

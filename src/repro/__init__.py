@@ -1,0 +1,45 @@
+"""repro: a reproduction of "Predictive Price-Performance Optimization for
+Serverless Query Processing" (Sen, Roy, Jindal — EDBT 2023).
+
+The package implements **AutoExecutor** — parametric price-performance
+models (PPMs) that predict a query's run time as a function of its
+computational resources, trained from compile-time plan features and used
+to request near-optimal executor counts before execution — together with
+every substrate the paper's evaluation needs:
+
+- :mod:`repro.core` — the PPMs, parameter model, selection objectives,
+  total-cores modeling, and the AutoExecutor optimizer rule;
+- :mod:`repro.engine` — a Spark-like cluster/scheduler simulator;
+- :mod:`repro.sparklens` — the post-hoc run-time estimator used for
+  training-data augmentation;
+- :mod:`repro.workloads` — a TPC-DS-like plan generator and a synthetic
+  production trace;
+- :mod:`repro.ml` — random forests, linear models, cross-validation, and
+  permutation importance (the scikit-learn substitute);
+- :mod:`repro.export` — a portable model format + runtime (the ONNX
+  substitute);
+- :mod:`repro.experiments` — the harness behind the paper's figures.
+
+Quickstart::
+
+    from repro import AutoExecutor, Workload
+
+    workload = Workload(scale_factor=100)
+    system = AutoExecutor(family="power_law").train(workload)
+    n = system.select_executors(workload.optimized_plan("q94"))
+"""
+
+from repro.core.autoexecutor import AutoExecutor, AutoExecutorRule
+from repro.core.ppm import AmdahlPPM, PowerLawPPM
+from repro.workloads.generator import Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoExecutor",
+    "AutoExecutorRule",
+    "PowerLawPPM",
+    "AmdahlPPM",
+    "Workload",
+    "__version__",
+]

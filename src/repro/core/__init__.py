@@ -1,0 +1,55 @@
+"""AutoExecutor: predictive price-performance optimization (the paper's core).
+
+The pipeline (paper Sections 3–4):
+
+1. :mod:`~repro.core.ppm` — the parametric Price-Performance Model:
+   ``t(n) = max(b·n^a, m)`` (AE_PL) or ``t(n) = s + p/n`` (AE_AL), fitted
+   per query from (n, t) samples.
+2. :mod:`~repro.core.features` — Table 2 featurization of optimized plans.
+3. :mod:`~repro.core.parameter_model` — the learned map
+   ``g: features → PPM parameters`` (random forest), scored once per query.
+4. :mod:`~repro.core.selection` — price-perf objectives over a predicted
+   curve: limited slowdown, elbow point, minimum time.
+5. :mod:`~repro.core.cores` — modeling total cores ``k = n·ec`` and
+   factorizing an optimal ``k`` back into ``(n, ec)``.
+6. :mod:`~repro.core.training` — telemetry → Sparklens augmentation →
+   labels → trained parameter models.
+7. :mod:`~repro.core.autoexecutor` — the end-to-end facade and the
+   optimizer extension rule (Figure 6's five steps).
+"""
+
+from repro.core.autoexecutor import AutoExecutor, AutoExecutorRule
+from repro.core.cores import factorize_cores
+from repro.core.errors import e_metric, interpolate_curve
+from repro.core.features import FEATURE_NAMES, QueryFeatures
+from repro.core.parameter_model import ParameterModel
+from repro.core.ppm import (
+    AmdahlPPM,
+    PowerLawPPM,
+    PricePerfModel,
+    fit_amdahl,
+    fit_power_law,
+)
+from repro.core.selection import elbow_point, limited_slowdown, min_time_executors
+from repro.core.training import TrainingDataset, build_training_dataset
+
+__all__ = [
+    "PricePerfModel",
+    "PowerLawPPM",
+    "AmdahlPPM",
+    "fit_power_law",
+    "fit_amdahl",
+    "QueryFeatures",
+    "FEATURE_NAMES",
+    "ParameterModel",
+    "limited_slowdown",
+    "elbow_point",
+    "min_time_executors",
+    "factorize_cores",
+    "e_metric",
+    "interpolate_curve",
+    "TrainingDataset",
+    "build_training_dataset",
+    "AutoExecutor",
+    "AutoExecutorRule",
+]

@@ -1,0 +1,127 @@
+"""Total-cores modeling and executor factorization (paper Section 3.3).
+
+The PPM can take the *total core count* ``k = n · ec`` as its resource
+axis instead of the executor count: the paper shows run times for different
+``(n, ec)`` factorizations of the same ``k`` collapse onto a single curve
+(Figure 5), so modeling ``k`` directly avoids adding ``ec`` as a model
+input.  Once an optimal ``k`` is chosen, it must be factorized back into
+``(n, ec)``; the paper poses this as minimizing stranded node cores
+
+    minimize    C mod ec
+    subject to  em · ⌊C / ec⌋ ≤ M          (executors fit in node memory)
+    and         ec | k                      (k splits into whole executors)
+
+with smaller ``ec`` preferred on ties (finer cost-performance granularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.cluster import NodeSpec
+
+__all__ = ["Factorization", "factorize_cores", "CONFIG_GRID_TABLE1"]
+
+
+#: The (ec, n, k) configuration grid of the paper's Table 1.
+CONFIG_GRID_TABLE1: tuple[tuple[int, int, int], ...] = (
+    (2, 3, 6),
+    (2, 16, 32),
+    (4, 1, 4),
+    (4, 3, 12),
+    (4, 4, 16),
+    (4, 8, 32),
+    (4, 16, 64),
+    (4, 32, 128),
+    (4, 48, 192),
+    (6, 3, 18),
+    (6, 16, 96),
+    (8, 3, 24),
+    (8, 16, 128),
+)
+
+
+@dataclass(frozen=True)
+class Factorization:
+    """A chosen ``(n, ec)`` split of a total core budget ``k``.
+
+    Attributes:
+        executors: executor count ``n``.
+        cores_per_executor: executor width ``ec``.
+        stranded_cores_per_node: node cores no executor can use.
+    """
+
+    executors: int
+    cores_per_executor: int
+    stranded_cores_per_node: int
+
+    @property
+    def total_cores(self) -> int:
+        return self.executors * self.cores_per_executor
+
+
+def factorize_cores(
+    k: int,
+    node: NodeSpec = NodeSpec(),
+    executor_memory_gb: float = 28.0,
+    min_cores_per_executor: int = 1,
+    max_cores_per_executor: int | None = None,
+) -> Factorization:
+    """Factorize a core budget ``k`` into ``(n, ec)``.
+
+    Implements the paper's optimization: among executor widths ``ec`` that
+    (a) divide ``k`` exactly and (b) fit node memory, pick the one
+    stranding the fewest node cores; ties prefer smaller ``ec`` (finer
+    granularity for later price-performance adjustments).
+
+    Args:
+        k: total core budget (from the cores-based PPM).
+        node: node shape (paper: 8 cores / 64 GB).
+        executor_memory_gb: per-executor memory ``em`` (paper: 28 GB).
+        min_cores_per_executor / max_cores_per_executor: practical bounds
+            (very small ``ec`` complicates overhead-memory sizing, very
+            large ``ec`` inflates GC — Section 3.3's closing caveats).
+
+    Raises:
+        ValueError: when no feasible factorization exists.
+    """
+    if k < 1:
+        raise ValueError("core budget k must be >= 1")
+    if min_cores_per_executor < 1:
+        raise ValueError("min_cores_per_executor must be >= 1")
+    upper = max_cores_per_executor or node.cores
+    upper = min(upper, node.cores)
+
+    best: Factorization | None = None
+    for ec in range(min_cores_per_executor, upper + 1):
+        if k % ec != 0:
+            continue
+        executors_per_node = node.cores // ec
+        if executors_per_node < 1:
+            continue
+        if executor_memory_gb * executors_per_node > node.memory_gb:
+            # Too many executors of this width for node memory; reduce to
+            # what memory allows, which also strands cores.
+            executors_per_node = int(node.memory_gb // executor_memory_gb)
+            if executors_per_node < 1:
+                continue
+        stranded = node.cores - ec * executors_per_node
+        candidate = Factorization(
+            executors=k // ec,
+            cores_per_executor=ec,
+            stranded_cores_per_node=stranded,
+        )
+        if (
+            best is None
+            or candidate.stranded_cores_per_node < best.stranded_cores_per_node
+            or (
+                candidate.stranded_cores_per_node == best.stranded_cores_per_node
+                and candidate.cores_per_executor < best.cores_per_executor
+            )
+        ):
+            best = candidate
+    if best is None:
+        raise ValueError(
+            f"no feasible (n, ec) factorization for k={k} on {node}"
+        )
+    return best

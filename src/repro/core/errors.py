@@ -1,0 +1,81 @@
+"""Error metrics and curve interpolation (paper Equations 6–9 support).
+
+- :func:`e_metric` — the paper's accuracy metric ``E(n)`` (Equation 6):
+  total absolute time error over total actual time, across a query set.
+- :func:`interpolate_curve` — the piecewise-linear interpolation the paper
+  applies to the Actual and Sparklens series to expand the candidate
+  configuration set to every ``n ∈ [1, 48]`` (Section 5.3).
+- :func:`slowdown` — actual-slowdown accounting for configuration
+  selection experiments (Figure 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["e_metric", "interpolate_curve", "slowdown"]
+
+
+def e_metric(actual_by_query: dict, predicted_by_query: dict) -> float:
+    """Paper Equation 6 at one resource level.
+
+    Args:
+        actual_by_query: ``{query_id: t_q(n)}`` actual run times.
+        predicted_by_query: ``{query_id: t̂_q(n)}`` predicted run times;
+            keys must cover the actual keys.
+
+    Returns:
+        ``Σ_q |t̂_q(n) − t_q(n)| / Σ_q t_q(n)``.
+    """
+    if not actual_by_query:
+        raise ValueError("E(n) needs at least one query")
+    missing = set(actual_by_query) - set(predicted_by_query)
+    if missing:
+        raise KeyError(f"missing predictions for {sorted(missing)}")
+    total_err = 0.0
+    total_actual = 0.0
+    for qid, actual in actual_by_query.items():
+        total_err += abs(predicted_by_query[qid] - actual)
+        total_actual += actual
+    if total_actual <= 0:
+        raise ValueError("E(n) undefined for non-positive total actual time")
+    return total_err / total_actual
+
+
+def interpolate_curve(
+    n_samples,
+    t_samples,
+    n_grid,
+) -> np.ndarray:
+    """Piecewise-linear interpolation of a run-time curve onto a grid.
+
+    Outside the sampled range the curve is extended flat (the paper's
+    samples span the full grid, so this only matters defensively).
+    """
+    n = np.asarray(n_samples, dtype=float)
+    t = np.asarray(t_samples, dtype=float)
+    if n.shape != t.shape or n.ndim != 1 or len(n) < 1:
+        raise ValueError("samples must be equal-length 1-D arrays")
+    order = np.argsort(n)
+    return np.interp(np.asarray(n_grid, dtype=float), n[order], t[order])
+
+
+def slowdown(curve: np.ndarray, chosen_index: int) -> float:
+    """Slowdown of a chosen configuration relative to the curve minimum.
+
+    Args:
+        curve: run times over the candidate grid.
+        chosen_index: index of the selected configuration.
+
+    Returns:
+        ``t[chosen] / min(t)`` (≥ 1 for any choice on the curve).
+    """
+    curve = np.asarray(curve, dtype=float)
+    if curve.ndim != 1 or curve.size == 0:
+        raise ValueError("curve must be a non-empty 1-D array")
+    if not 0 <= chosen_index < curve.size:
+        raise IndexError("chosen_index outside the curve")
+    t_min = float(curve.min())
+    if t_min <= 0:
+        raise ValueError("curve values must be positive")
+    return float(curve[chosen_index] / t_min)

@@ -1,0 +1,90 @@
+"""Compile-time query featurization (paper Table 2).
+
+The parameter model's features must be available *before* execution — at
+compile/optimization time — because AutoExecutor predicts the executor
+count before the query runs and must score the model with the same features
+it was trained on (Section 3.4).  The feature list is exactly Table 2:
+
+- the count of each operator kind in the optimized plan (14 kinds),
+- the total operator count,
+- the maximum plan depth,
+- the number of input data sources,
+- the estimated total input bytes,
+- the estimated total rows processed by all operators.
+
+No runtime statistics appear here, by design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.plan import OPERATOR_KINDS, LogicalPlan
+
+__all__ = ["FEATURE_NAMES", "QueryFeatures", "featurize_plans"]
+
+
+#: Feature vector layout.  The names for the two data-size features match
+#: the paper's Figure 15 labels.
+FEATURE_NAMES: tuple[str, ...] = tuple(
+    [kind.value for kind in OPERATOR_KINDS]
+    + ["NumOps", "MaxDepth", "NumInputs", "TotalInputBytes", "TotalRowsProcessed"]
+)
+
+
+@dataclass(frozen=True)
+class QueryFeatures:
+    """Featurized query plan.
+
+    Attributes:
+        values: feature vector ordered as :data:`FEATURE_NAMES`.
+        query_id: source query identifier (bookkeeping only; never fed to
+            the model).
+    """
+
+    values: np.ndarray
+    query_id: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "values", np.asarray(self.values, dtype=float)
+        )
+        if self.values.shape != (len(FEATURE_NAMES),):
+            raise ValueError(
+                f"feature vector must have {len(FEATURE_NAMES)} entries, "
+                f"got shape {self.values.shape}"
+            )
+
+    @classmethod
+    def from_plan(cls, plan: LogicalPlan) -> "QueryFeatures":
+        """Extract Table 2 features from an optimized plan."""
+        counts = plan.operator_counts()
+        values = [float(counts[kind]) for kind in OPERATOR_KINDS]
+        values.append(float(plan.num_operators()))
+        values.append(float(plan.max_depth()))
+        values.append(float(len(plan.input_sources())))
+        values.append(plan.total_input_bytes())
+        values.append(plan.total_rows_processed())
+        return cls(values=np.array(values), query_id=plan.query_id)
+
+    def __getitem__(self, name: str) -> float:
+        """Look a feature up by name (e.g. ``features["MaxDepth"]``)."""
+        try:
+            index = FEATURE_NAMES.index(name)
+        except ValueError:
+            raise KeyError(name) from None
+        return float(self.values[index])
+
+    def masked(self, keep: tuple[str, ...]) -> np.ndarray:
+        """Project the vector onto a feature subset (Section 5.7 ablation).
+
+        Returns the values of ``keep`` in the given order.
+        """
+        return np.array([self[name] for name in keep])
+
+
+def featurize_plans(plans) -> np.ndarray:
+    """Stack Table 2 feature vectors for a sequence of plans into a matrix."""
+    return np.stack([QueryFeatures.from_plan(p).values for p in plans])

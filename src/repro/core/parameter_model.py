@@ -1,0 +1,177 @@
+"""The parameter model ``g: query features → PPM parameters``.
+
+This is the ML half of the paper's framework (Section 3.4): a regression
+model trained with one row per query — features from Table 2, targets the
+fitted PPM parameters — and scored *once* per query at optimization time.
+The predicted parameters instantiate the PPM, and evaluating ``t(n)`` at
+any number of candidate configurations is then just arithmetic.  (The
+contrast with the non-parametric approach — one row and one model score
+per configuration — is benchmarked in the ablation bench.)
+
+The default estimator is the random forest the paper uses (100 trees,
+default settings); any estimator with ``fit``/``predict`` works, mirroring
+the paper's "any ML library" flexibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.features import FEATURE_NAMES, QueryFeatures
+from repro.core.ppm import AmdahlPPM, PowerLawPPM, PricePerfModel
+from repro.ml.forest import RandomForestRegressor
+
+__all__ = ["ParameterModel"]
+
+_FAMILIES = {
+    "power_law": PowerLawPPM,
+    "amdahl": AmdahlPPM,
+}
+
+#: Scale-like parameters (run times / work volumes) span orders of
+#: magnitude across queries; the estimator regresses them in log space so
+#: that leaf averaging is multiplicative, not additive.  Shape parameters
+#: (the power-law exponent ``a``) stay raw.
+_LOG_PARAMS: dict[str, tuple[bool, ...]] = {
+    "power_law": (False, True, True),  # (a, b, m)
+    "amdahl": (True, True),  # (s, p)
+}
+
+_LOG_EPSILON = 1e-3
+
+
+def _to_target_space(params: np.ndarray, log_mask: tuple[bool, ...]) -> np.ndarray:
+    out = np.array(params, dtype=float, copy=True)
+    for col, use_log in enumerate(log_mask):
+        if use_log:
+            out[:, col] = np.log(np.maximum(out[:, col], 0.0) + _LOG_EPSILON)
+    return out
+
+
+def _from_target_space(targets: np.ndarray, log_mask: tuple[bool, ...]) -> np.ndarray:
+    out = np.array(targets, dtype=float, copy=True)
+    for col, use_log in enumerate(log_mask):
+        if use_log:
+            out[..., col] = np.maximum(np.exp(out[..., col]) - _LOG_EPSILON, 0.0)
+    return out
+
+
+@dataclass
+class ParameterModel:
+    """A trained map from plan features to a PPM instance.
+
+    Args:
+        family: ``"power_law"`` (AE_PL) or ``"amdahl"`` (AE_AL).
+        estimator: multi-output regressor; defaults to the paper's random
+            forest (100 estimators).
+        feature_names: feature subset to use, in order (defaults to the
+            full Table 2 list; pass a subset for the Section 5.7 feature
+            ablation).
+    """
+
+    family: str
+    estimator: object | None = None
+    feature_names: tuple[str, ...] = FEATURE_NAMES
+    _fitted: bool = field(default=False, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.family not in _FAMILIES:
+            raise ValueError(
+                f"unknown PPM family {self.family!r}; "
+                f"expected one of {sorted(_FAMILIES)}"
+            )
+        if self.estimator is None:
+            self.estimator = RandomForestRegressor(
+                n_estimators=100, random_state=0
+            )
+        unknown = set(self.feature_names) - set(FEATURE_NAMES)
+        if unknown:
+            raise ValueError(f"unknown feature names: {sorted(unknown)}")
+
+    @property
+    def ppm_class(self) -> type[PricePerfModel]:
+        return _FAMILIES[self.family]
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        return self.ppm_class.PARAM_NAMES
+
+    def _project(self, features: np.ndarray) -> np.ndarray:
+        """Select the configured feature columns from full feature rows."""
+        if features.shape[1] == len(self.feature_names):
+            return features
+        if features.shape[1] != len(FEATURE_NAMES):
+            raise ValueError(
+                f"feature matrix has {features.shape[1]} columns; expected "
+                f"{len(FEATURE_NAMES)} (full) or {len(self.feature_names)}"
+            )
+        cols = [FEATURE_NAMES.index(name) for name in self.feature_names]
+        return features[:, cols]
+
+    def fit(self, features: np.ndarray, params: np.ndarray) -> "ParameterModel":
+        """Train on one row per query.
+
+        Args:
+            features: matrix ``(n_queries, n_features)`` (full Table 2
+                vectors are projected onto the configured subset).
+            params: matrix ``(n_queries, n_params)`` of fitted PPM
+                parameters, ordered as :attr:`param_names`.
+        """
+        features = np.asarray(features, dtype=float)
+        params = np.asarray(params, dtype=float)
+        if params.ndim != 2 or params.shape[1] != len(self.param_names):
+            raise ValueError(
+                f"params must be (n, {len(self.param_names)}) for family "
+                f"{self.family!r}"
+            )
+        if features.shape[0] != params.shape[0]:
+            raise ValueError("features and params row counts differ")
+        targets = _to_target_space(params, _LOG_PARAMS[self.family])
+        self.estimator.fit(self._project(features), targets)
+        self._fitted = True
+        return self
+
+    def predict_params(self, features: np.ndarray) -> np.ndarray:
+        """Raw predicted parameter matrix for a batch of feature rows."""
+        if not self._fitted:
+            raise RuntimeError("this ParameterModel is not fitted yet")
+        features = np.asarray(features, dtype=float)
+        single = features.ndim == 1
+        if single:
+            features = features[None, :]
+        targets = self.estimator.predict(self._project(features))
+        out = _from_target_space(np.atleast_2d(targets), _LOG_PARAMS[self.family])
+        return out[0] if single else out
+
+    def predict_ppm(self, features: QueryFeatures | np.ndarray) -> PricePerfModel:
+        """Score once and instantiate the predicted PPM for one query.
+
+        Predicted parameters are clamped into the family's monotone-valid
+        region by ``from_parameters`` (the paper's monotonicity constraint
+        applied to ML outputs).
+        """
+        if isinstance(features, QueryFeatures):
+            vector = features.values
+        else:
+            vector = np.asarray(features, dtype=float)
+        params = self.predict_params(vector)
+        return self.ppm_class.from_parameters(params)
+
+    def predict_curve(
+        self, features: QueryFeatures | np.ndarray, n_grid
+    ) -> np.ndarray:
+        """Convenience: predicted run-time curve over a candidate grid."""
+        return self.predict_ppm(features).predict_curve(n_grid)
+
+    def export_metadata(self) -> dict:
+        """Metadata a portable-model scorer needs to reproduce this model's
+        predictions exactly: the PPM family and the log-space target mask
+        (the estimator predicts transformed targets; see ``_LOG_PARAMS``).
+        """
+        return {
+            "family": self.family,
+            "log_params": list(_LOG_PARAMS[self.family]),
+            "feature_names": list(self.feature_names),
+        }

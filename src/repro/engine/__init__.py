@@ -1,0 +1,62 @@
+"""Spark-like serverless query engine simulator.
+
+This subpackage is the substrate the paper evaluates on (Azure Synapse
+Spark pools).  It provides:
+
+- :mod:`~repro.engine.plan` — logical query plans over the 14 TPC-DS
+  operator kinds, with cardinality and input-source annotations.
+- :mod:`~repro.engine.optimizer` — a rule-based optimizer with an extension
+  point for prediction-based rules (the surface AutoExecutor plugs into).
+- :mod:`~repro.engine.stages` — physical staging: plan → DAG of stages,
+  each with task counts and durations (shuffle boundaries at exchanges).
+- :mod:`~repro.engine.cluster` — the cluster manager: node shapes, executor
+  placement, and the gradual executor-provisioning lag the paper observes.
+- :mod:`~repro.engine.allocation` — executor allocation policies: static,
+  Spark-style reactive dynamic allocation, and predictive (rule-driven)
+  allocation with reactive deallocation.
+- :mod:`~repro.engine.scheduler` — the discrete-event task scheduler that
+  produces query run times, executor skylines, and telemetry.
+- :mod:`~repro.engine.skyline` — executor-allocation skylines and AUC
+  (total executor occupancy, the paper's cost metric).
+- :mod:`~repro.engine.metrics` — per-query telemetry records (one row per
+  query, mirroring Peregrine/SparkCruise collection).
+- :mod:`~repro.engine.session` — multi-query Spark applications (Figure 7).
+"""
+
+from repro.engine.allocation import (
+    DynamicAllocation,
+    PredictiveAllocation,
+    StaticAllocation,
+)
+from repro.engine.cluster import Cluster, ExecutorSpec, NodeSpec
+from repro.engine.metrics import QueryTelemetry
+from repro.engine.optimizer import Optimizer, OptimizerContext, OptimizerRule
+from repro.engine.plan import InputSource, LogicalPlan, OperatorKind, PlanNode
+from repro.engine.scheduler import SimulationResult, simulate_query
+from repro.engine.session import SparkApplication
+from repro.engine.skyline import Skyline
+from repro.engine.stages import Stage, StageGraph, compile_stages
+
+__all__ = [
+    "OperatorKind",
+    "PlanNode",
+    "LogicalPlan",
+    "InputSource",
+    "Optimizer",
+    "OptimizerRule",
+    "OptimizerContext",
+    "Stage",
+    "StageGraph",
+    "compile_stages",
+    "NodeSpec",
+    "ExecutorSpec",
+    "Cluster",
+    "StaticAllocation",
+    "DynamicAllocation",
+    "PredictiveAllocation",
+    "simulate_query",
+    "SimulationResult",
+    "Skyline",
+    "QueryTelemetry",
+    "SparkApplication",
+]

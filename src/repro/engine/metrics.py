@@ -1,0 +1,50 @@
+"""Per-query telemetry.
+
+The paper collects "detailed plans with annotations such as input dataset
+information, and runtime metrics at the end of every query" via Peregrine
+and SparkCruise, transformed into "a tabular representation of the query
+workload ... one row per query" (Section 4.1).  :class:`QueryTelemetry` is
+that row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.plan import LogicalPlan
+from repro.engine.skyline import Skyline
+
+__all__ = ["QueryTelemetry"]
+
+
+@dataclass
+class QueryTelemetry:
+    """One row of the workload table: a finished query's record.
+
+    Attributes:
+        query_id: workload identifier.
+        plan: the optimized logical plan (source of compile-time features).
+        runtime: observed elapsed seconds.
+        executors_requested: executor count requested for the run.
+        max_executors: peak allocation observed.
+        auc: total executor occupancy (executor-seconds).
+        skyline: the allocation skyline.
+        cores_per_executor: ``ec`` of the run.
+        annotations: free-form extras (policy name, predicted counts, ...).
+    """
+
+    query_id: str
+    plan: LogicalPlan
+    runtime: float
+    executors_requested: int
+    max_executors: int
+    auc: float
+    skyline: Skyline | None = None
+    cores_per_executor: int = 4
+    annotations: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.runtime < 0:
+            raise ValueError("runtime cannot be negative")
+        if self.auc < 0:
+            raise ValueError("AUC cannot be negative")

@@ -1,0 +1,232 @@
+"""Rule-based query optimizer with prediction-based extension rules.
+
+The paper augments the Spark optimizer — traditionally rule-based and
+cost-based — with *prediction-based* optimizations (Figure 6): ML models
+scored in-process during optimization.  This module provides the analogous
+surface:
+
+- a handful of classic rewrite rules (no-op filter elimination, project
+  collapsing, filter pushdown, union flattening, projection pruning) applied
+  to a fixpoint;
+- an extension point (``extension_rules``) invoked *after* the rewrite
+  pipeline, receiving an :class:`OptimizerContext` through which a rule can
+  inspect the optimized plan and request resources — exactly the surface
+  :class:`repro.core.autoexecutor.AutoExecutorRule` plugs into (the paper
+  notes the AutoExecutor rule is the last rule invoked, once per query).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.engine.plan import LogicalPlan, OperatorKind, PlanNode
+
+__all__ = [
+    "OptimizerRule",
+    "OptimizerContext",
+    "Optimizer",
+    "RemoveNoOpFilters",
+    "CollapseProjects",
+    "PushFiltersIntoScans",
+    "FlattenUnions",
+    "PruneColumns",
+    "DEFAULT_REWRITE_RULES",
+]
+
+
+@dataclass
+class OptimizerContext:
+    """State handed to extension rules.
+
+    Attributes:
+        plan: the rewritten (optimized) plan.
+        requested_executors: executor count requested by an extension rule
+            (``None`` when no rule made a request); consumed by the
+            session / allocation layer before execution starts.
+        annotations: free-form key/value channel for rules to record
+            decisions (used by telemetry and tests).
+    """
+
+    plan: LogicalPlan
+    requested_executors: int | None = None
+    annotations: dict[str, object] = field(default_factory=dict)
+
+    def request_executors(self, n: int) -> None:
+        """Record a pre-execution executor request (paper Section 4.5)."""
+        if n < 1:
+            raise ValueError("executor requests must be >= 1")
+        self.requested_executors = int(n)
+
+
+class OptimizerRule(Protocol):
+    """An extension rule: receives the context after rewrites complete."""
+
+    def apply(self, context: OptimizerContext) -> None:  # pragma: no cover
+        ...
+
+
+RewriteRule = Callable[[PlanNode], tuple[PlanNode, bool]]
+
+
+def _rewrite_bottom_up(node: PlanNode, rule: RewriteRule) -> tuple[PlanNode, bool]:
+    changed = False
+    new_children = []
+    for child in node.children:
+        new_child, child_changed = _rewrite_bottom_up(child, rule)
+        changed |= child_changed
+        new_children.append(new_child)
+    node.children = new_children
+    node, self_changed = rule(node)
+    return node, changed or self_changed
+
+
+def RemoveNoOpFilters(node: PlanNode) -> tuple[PlanNode, bool]:
+    """Drop filters that keep every row (selectivity == 1)."""
+    if (
+        node.kind == OperatorKind.FILTER
+        and node.selectivity >= 1.0
+        and len(node.children) == 1
+    ):
+        return node.children[0], True
+    return node, False
+
+
+def CollapseProjects(node: PlanNode) -> tuple[PlanNode, bool]:
+    """Merge adjacent projects, multiplying the kept-column fractions."""
+    if (
+        node.kind == OperatorKind.PROJECT
+        and len(node.children) == 1
+        and node.children[0].kind == OperatorKind.PROJECT
+    ):
+        child = node.children[0]
+        merged = PlanNode(
+            kind=OperatorKind.PROJECT,
+            children=list(child.children),
+            rows_out=node.rows_out,
+            columns_kept=max(1e-9, node.columns_kept * child.columns_kept),
+        )
+        return merged, True
+    return node, False
+
+
+def PushFiltersIntoScans(node: PlanNode) -> tuple[PlanNode, bool]:
+    """Push single-table (``pushable``) filters into their scan input.
+
+    The filter disappears from the plan; the scan's output cardinality is
+    reduced by the filter's selectivity, modeling predicate pushdown into
+    the data source.
+    """
+    if (
+        node.kind == OperatorKind.FILTER
+        and node.pushable
+        and len(node.children) == 1
+        and node.children[0].kind == OperatorKind.SCAN
+    ):
+        scan = node.children[0]
+        scan.rows_out = scan.rows_out * node.selectivity
+        return scan, True
+    return node, False
+
+
+def FlattenUnions(node: PlanNode) -> tuple[PlanNode, bool]:
+    """Flatten ``Union(Union(a, b), c)`` into ``Union(a, b, c)``."""
+    if node.kind != OperatorKind.UNION:
+        return node, False
+    flat: list[PlanNode] = []
+    changed = False
+    for child in node.children:
+        if child.kind == OperatorKind.UNION:
+            flat.extend(child.children)
+            changed = True
+        else:
+            flat.append(child)
+    if changed:
+        node.children = flat
+    return node, changed
+
+
+def PruneColumns(node: PlanNode) -> tuple[PlanNode, bool]:
+    """Fold a project directly above a scan into the scan's byte estimate.
+
+    Models projection pruning: reading fewer columns shrinks the bytes the
+    scan must fetch.  The project node is kept (Spark keeps it too) but
+    marked non-foldable so the rewrite reaches a fixpoint.
+    """
+    if (
+        node.kind == OperatorKind.PROJECT
+        and node.columns_kept < 1.0
+        and len(node.children) == 1
+        and node.children[0].kind == OperatorKind.SCAN
+    ):
+        scan = node.children[0]
+        assert scan.source is not None
+        pruned = scan.source.__class__(
+            name=scan.source.name,
+            bytes=scan.source.bytes * node.columns_kept,
+            rows=scan.source.rows,
+        )
+        scan.source = pruned
+        node.columns_kept = 1.0
+        return node, True
+    return node, False
+
+
+DEFAULT_REWRITE_RULES: tuple[RewriteRule, ...] = (
+    RemoveNoOpFilters,
+    CollapseProjects,
+    PushFiltersIntoScans,
+    FlattenUnions,
+    PruneColumns,
+)
+
+
+class Optimizer:
+    """Rewrite pipeline + prediction-based extension point.
+
+    Args:
+        rewrite_rules: bottom-up rewrite rules, run to a fixpoint (bounded
+            by ``max_iterations`` to guard against oscillating rules).
+        extension_rules: prediction-based rules run once, in order, after
+            rewriting; the last place a query passes through before
+            execution (mirroring SPARK-18127 extensions).
+        max_iterations: fixpoint bound.
+    """
+
+    def __init__(
+        self,
+        rewrite_rules: tuple[RewriteRule, ...] = DEFAULT_REWRITE_RULES,
+        extension_rules: list[OptimizerRule] | None = None,
+        max_iterations: int = 20,
+    ) -> None:
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        self.rewrite_rules = rewrite_rules
+        self.extension_rules: list[OptimizerRule] = list(extension_rules or [])
+        self.max_iterations = max_iterations
+
+    def inject_rule(self, rule: OptimizerRule) -> None:
+        """Append a prediction-based extension rule (runs last)."""
+        self.extension_rules.append(rule)
+
+    def optimize(self, plan: LogicalPlan) -> OptimizerContext:
+        """Rewrite ``plan`` and run extension rules.
+
+        The input plan is not mutated; a copy is rewritten.  Returns the
+        final :class:`OptimizerContext` carrying the optimized plan and any
+        resource request made by extension rules.
+        """
+        working = plan.copy()
+        for _ in range(self.max_iterations):
+            changed = False
+            for rule in self.rewrite_rules:
+                working.root, rule_changed = _rewrite_bottom_up(
+                    working.root, rule
+                )
+                changed |= rule_changed
+            if not changed:
+                break
+        context = OptimizerContext(plan=working)
+        for ext in self.extension_rules:
+            ext.apply(context)
+        return context

@@ -1,0 +1,213 @@
+"""Logical query plans.
+
+The paper featurizes optimized Spark SQL plans with counts of each operator
+kind ("14 operators for TPC-DS", Table 2), the total operator count, the
+maximum plan depth, the number of input sources, the estimated total input
+bytes, and the estimated total rows processed by all operators.  This module
+defines that operator taxonomy and a small plan IR carrying the cardinality
+annotations the featurizer and the physical stager need.
+
+Plans are trees of :class:`PlanNode` (a node may have multiple children —
+joins and unions — but each node has a single parent, like Spark's logical
+plans).  Every node carries ``rows_out``, the optimizer's cardinality
+estimate, and scans carry an :class:`InputSource` descriptor.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["OperatorKind", "InputSource", "PlanNode", "LogicalPlan"]
+
+
+class OperatorKind(str, Enum):
+    """The 14 operator kinds observed in TPC-DS plans (paper Table 2)."""
+
+    SCAN = "Scan"
+    FILTER = "Filter"
+    PROJECT = "Project"
+    JOIN = "Join"
+    AGGREGATE = "Aggregate"
+    SORT = "Sort"
+    UNION = "Union"
+    EXCHANGE = "Exchange"
+    LIMIT = "Limit"
+    WINDOW = "Window"
+    EXPAND = "Expand"
+    GENERATE = "Generate"
+    INTERSECT = "Intersect"
+    EXCEPT = "Except"
+
+
+#: Fixed feature ordering used throughout featurization and the benches.
+OPERATOR_KINDS: tuple[OperatorKind, ...] = tuple(OperatorKind)
+
+
+@dataclass(frozen=True)
+class InputSource:
+    """A table / file-set read by a scan.
+
+    Attributes:
+        name: dataset identifier (e.g. ``store_sales``).
+        bytes: estimated on-disk size of the data read.
+        rows: estimated row count of the data read.
+    """
+
+    name: str
+    bytes: float
+    rows: float
+
+    def __post_init__(self) -> None:
+        if self.bytes < 0 or self.rows < 0:
+            raise ValueError("input source sizes must be non-negative")
+
+
+@dataclass
+class PlanNode:
+    """One operator in a logical plan.
+
+    Attributes:
+        kind: the operator kind.
+        children: input operators (empty for scans).
+        rows_out: estimated output cardinality.
+        source: input descriptor; only meaningful for ``SCAN`` nodes.
+        selectivity: for ``FILTER`` nodes, the fraction of rows retained.
+        pushable: for ``FILTER`` nodes, whether the predicate references a
+            single base table and may be pushed below joins into the scan.
+        columns_kept: for ``PROJECT`` nodes, the fraction of input width
+            retained (drives projection-pruning byte reduction).
+    """
+
+    kind: OperatorKind
+    children: list["PlanNode"] = field(default_factory=list)
+    rows_out: float = 0.0
+    source: InputSource | None = None
+    selectivity: float = 1.0
+    pushable: bool = False
+    columns_kept: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind == OperatorKind.SCAN:
+            if self.children:
+                raise ValueError("scan nodes cannot have children")
+            if self.source is None:
+                raise ValueError("scan nodes require an input source")
+            if self.rows_out == 0.0:
+                self.rows_out = self.source.rows
+        elif self.source is not None:
+            raise ValueError("only scan nodes may carry an input source")
+        if not 0.0 <= self.selectivity <= 1.0:
+            raise ValueError("selectivity must lie in [0, 1]")
+        if not 0.0 < self.columns_kept <= 1.0:
+            raise ValueError("columns_kept must lie in (0, 1]")
+
+    @property
+    def rows_in(self) -> float:
+        """Total rows flowing into this operator from its children."""
+        return sum(child.rows_out for child in self.children)
+
+    @property
+    def rows_processed(self) -> float:
+        """Rows this operator processes: its inputs, or the scanned rows."""
+        if self.kind == OperatorKind.SCAN:
+            assert self.source is not None
+            return self.source.rows
+        return self.rows_in
+
+    def walk(self) -> Iterator["PlanNode"]:
+        """Pre-order traversal of the subtree rooted at this node."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def copy(self) -> "PlanNode":
+        """Deep copy of the subtree (sources are shared; they're frozen)."""
+        return PlanNode(
+            kind=self.kind,
+            children=[child.copy() for child in self.children],
+            rows_out=self.rows_out,
+            source=self.source,
+            selectivity=self.selectivity,
+            pushable=self.pushable,
+            columns_kept=self.columns_kept,
+        )
+
+
+@dataclass
+class LogicalPlan:
+    """A complete logical plan for one query.
+
+    Attributes:
+        root: the top operator (usually a limit/sort/aggregate).
+        query_id: workload identifier (e.g. ``"q94"``).
+    """
+
+    root: PlanNode
+    query_id: str = ""
+
+    def walk(self) -> Iterator[PlanNode]:
+        return self.root.walk()
+
+    def operator_counts(self) -> dict[OperatorKind, int]:
+        """Count of each operator kind in the plan (all 14 keys present)."""
+        counts = {kind: 0 for kind in OPERATOR_KINDS}
+        for node in self.walk():
+            counts[node.kind] += 1
+        return counts
+
+    def num_operators(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def max_depth(self) -> int:
+        """Longest root-to-leaf path, counted in nodes."""
+        best = 0
+        stack = [(self.root, 1)]
+        while stack:
+            node, depth = stack.pop()
+            if not node.children:
+                best = max(best, depth)
+            for child in node.children:
+                stack.append((child, depth + 1))
+        return best
+
+    def input_sources(self) -> list[InputSource]:
+        """Input descriptors of all scans, in plan order."""
+        return [
+            node.source
+            for node in self.walk()
+            if node.kind == OperatorKind.SCAN and node.source is not None
+        ]
+
+    def total_input_bytes(self) -> float:
+        return sum(src.bytes for src in self.input_sources())
+
+    def total_rows_processed(self) -> float:
+        """Paper Table 2: estimated rows processed by all operators."""
+        return sum(node.rows_processed for node in self.walk())
+
+    def copy(self) -> "LogicalPlan":
+        return LogicalPlan(root=self.root.copy(), query_id=self.query_id)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation.
+
+        Invariants: every leaf is a scan, every scan is a leaf, the tree is
+        acyclic (enforced by construction), and cardinalities are finite
+        and non-negative.
+        """
+        seen: set[int] = set()
+        for node in self.walk():
+            if id(node) in seen:
+                raise ValueError("plan contains a shared/cyclic node")
+            seen.add(id(node))
+            is_leaf = not node.children
+            if is_leaf and node.kind != OperatorKind.SCAN:
+                raise ValueError(f"leaf node {node.kind} is not a scan")
+            if node.kind == OperatorKind.SCAN and not is_leaf:
+                raise ValueError("scan node has children")
+            if not (node.rows_out >= 0):
+                raise ValueError("negative or NaN cardinality estimate")

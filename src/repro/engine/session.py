@@ -1,0 +1,132 @@
+"""Spark applications: multi-query sessions.
+
+Figure 7 of the paper shows AutoExecutor inside an *interactive* Spark
+application: each submitted query gets a predictive allocation request
+during optimization, and between queries the reactive deallocation releases
+idle executors.  :class:`SparkApplication` reproduces that lifecycle: it
+owns an optimizer (with any injected prediction rules), runs queries
+sequentially with think-time gaps, stitches the per-query skylines into an
+application-level skyline, and emits one telemetry row per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.allocation import PredictiveAllocation, StaticAllocation
+from repro.engine.cluster import Cluster
+from repro.engine.metrics import QueryTelemetry
+from repro.engine.optimizer import Optimizer
+from repro.engine.plan import LogicalPlan
+from repro.engine.scheduler import (
+    DEFAULT_SCHEDULER_CONFIG,
+    SchedulerConfig,
+    simulate_query,
+)
+from repro.engine.skyline import Skyline
+from repro.engine.stages import (
+    DEFAULT_COMPILER_CONFIG,
+    StageCompilerConfig,
+    compile_stages,
+)
+
+__all__ = ["SparkApplication"]
+
+
+@dataclass
+class SparkApplication:
+    """A sequential multi-query application on a shared cluster.
+
+    Args:
+        cluster: the pool the application runs in.
+        optimizer: optimizer used for every query; inject an
+            AutoExecutor rule here to enable predictive allocation.
+        default_executors: fleet present at application start and used
+            when no prediction rule makes a request (the production
+            default the paper criticizes is 2).
+        idle_timeout: reactive deallocation threshold between queries.
+        compiler_config / scheduler_config: engine knobs.
+    """
+
+    cluster: Cluster
+    optimizer: Optimizer = field(default_factory=Optimizer)
+    default_executors: int = 2
+    idle_timeout: float = 60.0
+    compiler_config: StageCompilerConfig = DEFAULT_COMPILER_CONFIG
+    scheduler_config: SchedulerConfig = DEFAULT_SCHEDULER_CONFIG
+
+    def __post_init__(self) -> None:
+        self._clock = 0.0
+        self._fleet = self.default_executors
+        self.skyline = Skyline()
+        self.telemetry: list[QueryTelemetry] = []
+        self.skyline.record(0.0, self._fleet)
+
+    @property
+    def clock(self) -> float:
+        """Application-level wall clock (seconds since app start)."""
+        return self._clock
+
+    def idle(self, seconds: float) -> None:
+        """Advance the clock with no query running (think time).
+
+        Reactive deallocation applies: if the gap exceeds the idle timeout,
+        the fleet shrinks to the application minimum (1 executor kept for
+        the driver's peer, mirroring DA's min).
+        """
+        if seconds < 0:
+            raise ValueError("cannot idle a negative duration")
+        if seconds >= self.idle_timeout and self._fleet > 1:
+            release_at = self._clock + self.idle_timeout
+            self.skyline.record(release_at, 1)
+            self._fleet = 1
+        self._clock += seconds
+
+    def run_query(self, plan: LogicalPlan) -> QueryTelemetry:
+        """Optimize and execute one query; returns its telemetry row.
+
+        If a prediction rule requested executors during optimization, the
+        query runs under the hybrid predictive policy (scale-up by the
+        request, reactive idle deallocation); otherwise it keeps the
+        application's current static fleet.
+        """
+        context = self.optimizer.optimize(plan)
+        requested = context.requested_executors
+        if requested is not None:
+            policy = PredictiveAllocation(
+                predicted_executors=requested,
+                initial_executors=self._fleet,
+                idle_timeout=self.idle_timeout,
+            )
+        else:
+            requested = max(self._fleet, 1)
+            policy = StaticAllocation(requested)
+
+        graph = compile_stages(context.plan, self.compiler_config)
+        result = simulate_query(
+            graph, policy, self.cluster, self.scheduler_config
+        )
+
+        # Stitch the query's skyline into the application skyline.
+        for t, c in result.skyline.points:
+            self.skyline.record(self._clock + t, c)
+        self._clock += result.runtime
+        self._fleet = result.skyline.value_at(result.runtime)
+
+        row = QueryTelemetry(
+            query_id=plan.query_id,
+            plan=context.plan,
+            runtime=result.runtime,
+            executors_requested=requested,
+            max_executors=result.max_executors,
+            auc=result.auc,
+            skyline=result.skyline,
+            cores_per_executor=self.cluster.cores_per_executor,
+            annotations=dict(context.annotations),
+        )
+        self.telemetry.append(row)
+        return row
+
+    def total_occupancy(self) -> float:
+        """Application-level AUC up to the current clock."""
+        return self.skyline.auc(self._clock)

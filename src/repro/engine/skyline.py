@@ -1,0 +1,79 @@
+"""Executor-allocation skylines and AUC.
+
+The paper's cost metric is the *total executor occupancy*
+``AUC = ∫ n_s ds`` — the area under the skyline of allocated executors
+``n_s`` over the query's lifetime (Section 2, Figure 1's data labels,
+Figure 12).  A :class:`Skyline` is a right-continuous step function built
+from executor arrival/removal events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Skyline"]
+
+
+@dataclass
+class Skyline:
+    """Step function of allocated executors over time.
+
+    Points are ``(time, count)`` steps: the count holds from each point's
+    time until the next point.  Times must be non-decreasing.
+    """
+
+    points: list[tuple[float, int]] = field(default_factory=list)
+
+    def record(self, time: float, count: int) -> None:
+        """Append a step; collapses consecutive equal counts."""
+        if count < 0:
+            raise ValueError("executor counts cannot be negative")
+        if self.points:
+            last_time, last_count = self.points[-1]
+            if time < last_time:
+                raise ValueError("skyline times must be non-decreasing")
+            if count == last_count:
+                return
+            if time == last_time:
+                self.points[-1] = (time, count)
+                return
+        self.points.append((time, count))
+
+    def value_at(self, time: float) -> int:
+        """Executor count in effect at ``time`` (0 before the first step)."""
+        count = 0
+        for t, c in self.points:
+            if t > time:
+                break
+            count = c
+        return count
+
+    @property
+    def max_executors(self) -> int:
+        """Peak allocation ``n = max(n_s)`` (paper metric 1)."""
+        if not self.points:
+            return 0
+        return max(c for _, c in self.points)
+
+    def auc(self, end_time: float) -> float:
+        """Total executor occupancy up to ``end_time`` (executor-seconds)."""
+        if end_time < 0:
+            raise ValueError("end_time must be >= 0")
+        area = 0.0
+        for i, (t, c) in enumerate(self.points):
+            if t >= end_time:
+                break
+            t_next = (
+                self.points[i + 1][0] if i + 1 < len(self.points) else end_time
+            )
+            area += c * (min(t_next, end_time) - t)
+        return area
+
+    def truncated(self, end_time: float) -> "Skyline":
+        """Copy of this skyline cut off at ``end_time``."""
+        out = Skyline()
+        for t, c in self.points:
+            if t >= end_time:
+                break
+            out.record(t, c)
+        return out

@@ -1,0 +1,27 @@
+"""Experiment harness shared by the benchmark suite.
+
+- :mod:`~repro.experiments.runtime_data` — ground-truth collection: run
+  every query at every candidate executor count with the paper's repeat /
+  outlier-discard / average protocol (Section 5.1).
+- :mod:`~repro.experiments.crossval` — the 10-repeated 5-fold
+  cross-validation driver producing per-fold models, predicted curves, and
+  ``E(n)`` matrices.
+- :mod:`~repro.experiments.harness` — a caching context that ties
+  workloads, actuals, and training data together so each bench pays the
+  simulation cost once.
+- :mod:`~repro.experiments.figures` — plain-text rendering of the series,
+  CDFs, and tables the paper plots.
+"""
+
+from repro.experiments.crossval import CrossValResult, FoldResult, run_cross_validation
+from repro.experiments.harness import ExperimentContext
+from repro.experiments.runtime_data import ActualRuns, collect_actual_runtimes
+
+__all__ = [
+    "ActualRuns",
+    "collect_actual_runtimes",
+    "CrossValResult",
+    "FoldResult",
+    "run_cross_validation",
+    "ExperimentContext",
+]

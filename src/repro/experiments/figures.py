@@ -1,0 +1,66 @@
+"""Plain-text rendering of the paper's figures and tables.
+
+Benchmarks print the same rows/series the paper plots; these helpers keep
+that output consistent: aligned series tables, CDF summaries at the
+percentiles a reader would extract from the paper's plots, and simple
+ASCII sparklines for curve shape at a glance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_series_table", "render_cdf", "sparkline", "cdf_percentiles"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def render_series_table(
+    x_label: str,
+    x_values,
+    series: dict[str, np.ndarray],
+    float_format: str = "{:10.2f}",
+) -> str:
+    """Aligned table: one row per x value, one column per series."""
+    x_values = list(x_values)
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+    header = f"{x_label:>12s} " + " ".join(f"{n:>10s}" for n in names)
+    lines = [header, "-" * len(header)]
+    for i, x in enumerate(x_values):
+        cells = " ".join(
+            float_format.format(float(series[n][i])) for n in names
+        )
+        lines.append(f"{str(x):>12s} {cells}")
+    return "\n".join(lines)
+
+
+def cdf_percentiles(
+    values, percentiles=(10, 25, 50, 75, 90, 99)
+) -> dict[int, float]:
+    """Percentile read-offs of an empirical distribution."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty distribution")
+    return {p: float(np.percentile(values, p)) for p in percentiles}
+
+
+def render_cdf(name: str, values, unit: str = "") -> str:
+    """One-line CDF summary in the style of reading the paper's plots."""
+    pct = cdf_percentiles(values)
+    parts = ", ".join(f"p{p}={v:.4g}{unit}" for p, v in pct.items())
+    return f"{name}: {parts} (n={len(np.asarray(values))})"
+
+
+def sparkline(values) -> str:
+    """Tiny ASCII plot of a series' shape."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return ""
+    lo, hi = float(values.min()), float(values.max())
+    if hi <= lo:
+        return _SPARK_CHARS[0] * values.size
+    scaled = (values - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)
+    return "".join(_SPARK_CHARS[int(round(s))] for s in scaled)

@@ -1,0 +1,103 @@
+"""Caching experiment context.
+
+Every bench needs some mix of: the workload at a scale factor, the averaged
+ground truth, the Sparklens-augmented training dataset, and a
+cross-validation run.  All of these are deterministic given their seeds, so
+an :class:`ExperimentContext` computes each once per process and hands out
+shared references.  The benchmark suite holds a single module-level context.
+
+The protocol sizes default to a reduced-but-faithful configuration (three
+CV repeats instead of ten, three ground-truth repeats instead of "several")
+so the whole suite runs in minutes; set ``REPRO_FULL_PROTOCOL=1`` in the
+environment to run the paper's exact sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.training import (
+    DEFAULT_N_GRID,
+    TrainingDataset,
+    build_training_dataset,
+)
+from repro.engine.cluster import Cluster
+from repro.experiments.crossval import CrossValResult, run_cross_validation
+from repro.experiments.runtime_data import ActualRuns, collect_actual_runtimes
+from repro.workloads.generator import Workload
+
+__all__ = ["ExperimentContext", "full_protocol"]
+
+
+def full_protocol() -> bool:
+    """Whether the paper's full protocol sizes were requested."""
+    return os.environ.get("REPRO_FULL_PROTOCOL", "") == "1"
+
+
+@dataclass
+class ExperimentContext:
+    """Shared, lazily-computed experiment state.
+
+    Args:
+        seed: master seed for ground-truth noise and CV shuffles.
+    """
+
+    seed: int = 0
+    cluster: Cluster = field(default_factory=Cluster)
+    n_grid: np.ndarray = field(default_factory=lambda: DEFAULT_N_GRID.copy())
+    _workloads: dict[float, Workload] = field(default_factory=dict, repr=False)
+    _actuals: dict[float, ActualRuns] = field(default_factory=dict, repr=False)
+    _datasets: dict[float, TrainingDataset] = field(
+        default_factory=dict, repr=False
+    )
+    _crossval: dict[float, CrossValResult] = field(
+        default_factory=dict, repr=False
+    )
+
+    @property
+    def cv_repeats(self) -> int:
+        return 10 if full_protocol() else 3
+
+    @property
+    def runtime_repeats(self) -> int:
+        return 5 if full_protocol() else 3
+
+    def workload(self, scale_factor: float) -> Workload:
+        if scale_factor not in self._workloads:
+            self._workloads[scale_factor] = Workload(scale_factor=scale_factor)
+        return self._workloads[scale_factor]
+
+    def actuals(self, scale_factor: float) -> ActualRuns:
+        """Averaged ground truth at a scale factor (computed once)."""
+        if scale_factor not in self._actuals:
+            self._actuals[scale_factor] = collect_actual_runtimes(
+                self.workload(scale_factor),
+                self.cluster,
+                repeats=self.runtime_repeats,
+                seed=self.seed,
+            )
+        return self._actuals[scale_factor]
+
+    def training_dataset(self, scale_factor: float) -> TrainingDataset:
+        """Sparklens-augmented training data (computed once)."""
+        if scale_factor not in self._datasets:
+            self._datasets[scale_factor] = build_training_dataset(
+                self.workload(scale_factor),
+                self.cluster,
+                n_grid=self.n_grid,
+            )
+        return self._datasets[scale_factor]
+
+    def cross_validation(self, scale_factor: float) -> CrossValResult:
+        """The repeated-k-fold run at a scale factor (computed once)."""
+        if scale_factor not in self._crossval:
+            self._crossval[scale_factor] = run_cross_validation(
+                self.training_dataset(scale_factor),
+                self.actuals(scale_factor),
+                n_repeats=self.cv_repeats,
+                seed=self.seed,
+            )
+        return self._crossval[scale_factor]

@@ -1,0 +1,167 @@
+"""Ground-truth run-time collection (paper Section 5.1).
+
+The paper runs every TPC-DS query several times at each executor count
+``n ∈ {1, 3, 8, 16, 32, 48}``, discards outliers outside ±1.5× the
+inter-quartile range, and averages the rest; run-to-run variation after
+discarding averaged 4.2 % (at n=1) to 6.9 % (at n=48), worst case 23.8 %,
+with shorter runs at large ``n`` varying more.
+
+We reproduce the protocol against the simulator: the deterministic run
+time is perturbed by per-repeat multiplicative lognormal noise whose
+dispersion interpolates the paper's measured range (growing with ``n``),
+with occasional heavy-tailed excursions providing the outliers the
+±1.5×IQR rule exists to discard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import interpolate_curve
+from repro.engine.allocation import StaticAllocation
+from repro.engine.cluster import Cluster
+from repro.engine.scheduler import SchedulerConfig, simulate_query
+from repro.workloads.generator import Workload
+
+__all__ = [
+    "ActualRuns",
+    "collect_actual_runtimes",
+    "noise_sigma",
+    "discard_outliers",
+    "EVALUATION_N_VALUES",
+]
+
+#: The executor counts ground truth is collected at (Section 5.1).
+EVALUATION_N_VALUES: tuple[int, ...] = (1, 3, 8, 16, 32, 48)
+
+#: Paper-measured run-to-run variation bounds (fractions, not %).
+_SIGMA_AT_N1 = 0.042
+_SIGMA_AT_N48 = 0.069
+
+#: Probability of a heavy-tailed excursion (an "outlier" run).
+_OUTLIER_PROB = 0.06
+_OUTLIER_SCALE = 3.0
+
+
+def noise_sigma(n: int) -> float:
+    """Run-to-run noise level at executor count ``n``.
+
+    Linearly interpolates the paper's measured 4.2 % (n=1) → 6.9 % (n=48).
+    """
+    frac = (min(max(n, 1), 48) - 1) / 47.0
+    return _SIGMA_AT_N1 + (_SIGMA_AT_N48 - _SIGMA_AT_N1) * frac
+
+
+def discard_outliers(samples: np.ndarray) -> np.ndarray:
+    """Drop points outside ±1.5× the inter-quartile range (Section 5.1)."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size < 4:
+        return samples
+    q1, q3 = np.percentile(samples, [25, 75])
+    iqr = q3 - q1
+    lo, hi = q1 - 1.5 * iqr, q3 + 1.5 * iqr
+    kept = samples[(samples >= lo) & (samples <= hi)]
+    return kept if kept.size else samples
+
+
+@dataclass
+class ActualRuns:
+    """Averaged ground-truth run times over (query, n).
+
+    Attributes:
+        query_ids: row order.
+        n_values: column order (the sampled executor counts).
+        times: matrix of averaged run times ``(n_queries, n_configs)``.
+        aucs: matrix of averaged executor occupancies (same shape).
+    """
+
+    query_ids: list[str]
+    n_values: np.ndarray
+    times: np.ndarray
+    aucs: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.n_values = np.asarray(self.n_values)
+        expected = (len(self.query_ids), len(self.n_values))
+        if self.times.shape != expected or self.aucs.shape != expected:
+            raise ValueError("times/aucs shape mismatch")
+
+    def row(self, query_id: str) -> np.ndarray:
+        return self.times[self.query_ids.index(query_id)]
+
+    def curve(self, query_id: str, n_grid) -> np.ndarray:
+        """Piecewise-linearly interpolated curve over a dense grid
+        (the paper's Section 5.3 expansion of the candidate set)."""
+        return interpolate_curve(self.n_values, self.row(query_id), n_grid)
+
+    def times_by_query(self, n: int) -> dict[str, float]:
+        """``{query_id: t_q(n)}`` at one sampled executor count."""
+        col = int(np.nonzero(self.n_values == n)[0][0])
+        return {q: float(self.times[i, col]) for i, q in enumerate(self.query_ids)}
+
+    def optimal_executors(
+        self, query_id: str, n_grid=None, tolerance: float = 0.02
+    ) -> int:
+        """Smallest n within ``tolerance`` of the (interpolated) minimum.
+
+        A small tolerance (default 2 %, below the run-to-run noise floor)
+        keeps the measurement stable: on a noisy near-flat curve the exact
+        argmin lands arbitrarily far right, while the *first* point that
+        reaches the plateau is the operationally optimal count the paper's
+        Figure 3c plots.
+        """
+        grid = np.arange(1, 49) if n_grid is None else np.asarray(n_grid)
+        curve = self.curve(query_id, grid)
+        threshold = float(curve.min()) * (1.0 + tolerance)
+        eligible = np.nonzero(curve <= threshold)[0]
+        return int(grid[eligible[0]])
+
+
+def collect_actual_runtimes(
+    workload: Workload,
+    cluster: Cluster | None = None,
+    n_values: tuple[int, ...] = EVALUATION_N_VALUES,
+    repeats: int = 5,
+    seed: int = 0,
+    scheduler_config: SchedulerConfig | None = None,
+) -> ActualRuns:
+    """Collect averaged ground truth for every query and executor count.
+
+    Each (query, n) pair is simulated once deterministically; ``repeats``
+    noisy observations are drawn around it, outliers are discarded by the
+    ±1.5×IQR rule, and the rest are averaged — the paper's exact protocol.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    cluster = cluster or Cluster()
+    scheduler_config = scheduler_config or SchedulerConfig()
+    rng = np.random.default_rng(seed)
+
+    ids = list(workload)
+    times = np.empty((len(ids), len(n_values)))
+    aucs = np.empty_like(times)
+    for i, query_id in enumerate(ids):
+        graph = workload.stage_graph(query_id)
+        for j, n in enumerate(n_values):
+            result = simulate_query(
+                graph, StaticAllocation(int(n)), cluster, scheduler_config
+            )
+            sigma = noise_sigma(int(n))
+            factors = rng.lognormal(mean=0.0, sigma=sigma, size=repeats)
+            heavy = rng.random(repeats) < _OUTLIER_PROB
+            factors[heavy] *= rng.lognormal(
+                mean=0.0, sigma=_OUTLIER_SCALE * sigma, size=int(heavy.sum())
+            )
+            samples = result.runtime * factors
+            kept = discard_outliers(samples)
+            scale = float(kept.mean()) / result.runtime
+            times[i, j] = result.runtime * scale
+            aucs[i, j] = result.auc * scale
+    return ActualRuns(
+        query_ids=ids,
+        n_values=np.asarray(n_values),
+        times=times,
+        aucs=aucs,
+    )

@@ -1,0 +1,29 @@
+"""Portable model interchange (the paper's ONNX substitute).
+
+The paper trains its models in Python (scikit-learn) but scores them inside
+the JVM-hosted Spark optimizer, bridging the gap by exporting to ONNX and
+scoring with the ONNX runtime's Java bindings (Section 4.3).  The essential
+properties — a training-library-independent serialized format, a separate
+lightweight runtime with load-once/cache semantics and millisecond
+inference, and measurable file sizes and load/score overheads
+(Section 5.6) — are reproduced here with a JSON tree format and a
+numpy-based scorer that shares no code with :mod:`repro.ml`'s training
+classes.
+"""
+
+from repro.export.format import (
+    export_model,
+    load_model_file,
+    save_model_file,
+    save_parameter_model,
+)
+from repro.export.runtime import PortableModelRuntime, PortablePPMScorer
+
+__all__ = [
+    "export_model",
+    "save_model_file",
+    "save_parameter_model",
+    "load_model_file",
+    "PortableModelRuntime",
+    "PortablePPMScorer",
+]

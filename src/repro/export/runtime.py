@@ -1,0 +1,181 @@
+"""The portable model runtime (the paper's in-optimizer ONNX runtime).
+
+:class:`PortableModelRuntime` is a model *registry + scorer*: it loads
+portable model files from a directory, caches them (the paper caches loaded
+models inside the optimizer because inference is on the live query path),
+and runs inference with its own numpy tree-walker — no dependency on the
+training classes in :mod:`repro.ml`, just as the ONNX runtime is
+independent of scikit-learn.
+
+:class:`PortablePPMScorer` adapts a loaded model to the ``predict_ppm``
+interface :class:`repro.core.autoexecutor.AutoExecutorRule` expects, using
+the PPM family recorded in the model's metadata.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.ppm import AmdahlPPM, PowerLawPPM, PricePerfModel
+from repro.export.format import load_model_file
+
+__all__ = ["PortableModelRuntime", "PortablePPMScorer"]
+
+
+class _CompiledForest:
+    """Inference-ready representation of a forest document."""
+
+    def __init__(self, document: dict) -> None:
+        self.kind = document["kind"]
+        self.n_features = int(document["n_features"])
+        self.n_outputs = int(document["n_outputs"])
+        self.metadata = dict(document.get("metadata", {}))
+        if self.kind == "linear":
+            self.coef = np.asarray(document["coef"], dtype=float)
+            self.intercept = np.asarray(document["intercept"], dtype=float)
+            self.trees: list[tuple[np.ndarray, ...]] = []
+        else:
+            self.trees = []
+            for tree in document["trees"]:
+                thresholds = np.array(
+                    [np.nan if t is None else t for t in tree["threshold"]],
+                    dtype=float,
+                )
+                self.trees.append(
+                    (
+                        np.asarray(tree["feature"], dtype=int),
+                        thresholds,
+                        np.asarray(tree["left"], dtype=int),
+                        np.asarray(tree["right"], dtype=int),
+                        np.asarray(tree["value"], dtype=float),
+                    )
+                )
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        single = X.ndim == 1
+        if single:
+            X = X[None, :]
+        if X.shape[1] != self.n_features:
+            raise ValueError(
+                f"input has {X.shape[1]} features; model expects "
+                f"{self.n_features}"
+            )
+        if self.kind == "linear":
+            out = X @ self.coef.T + self.intercept
+        else:
+            acc = np.zeros((X.shape[0], self.n_outputs))
+            rows = np.arange(X.shape[0])
+            for features, thresholds, left, right, values in self.trees:
+                idx = np.zeros(X.shape[0], dtype=int)
+                while True:
+                    feats = features[idx]
+                    active = feats >= 0
+                    if not active.any():
+                        break
+                    act_rows = rows[active]
+                    act_idx = idx[active]
+                    go_left = (
+                        X[act_rows, feats[active]] <= thresholds[act_idx]
+                    )
+                    idx[active] = np.where(
+                        go_left, left[act_idx], right[act_idx]
+                    )
+                acc += values[idx]
+            out = acc / len(self.trees)
+        return out[0] if single else out
+
+
+class PortableModelRuntime:
+    """Load-once, cached scoring of portable model files.
+
+    Args:
+        registry_dir: directory holding ``<name>.json`` model files (the
+            stand-in for the AML/MLflow model registry of Figure 6).
+
+    Timing of loads, compilations, and inferences is collected in
+    :attr:`timings` to reproduce the Section 5.6 overhead table.
+    """
+
+    def __init__(self, registry_dir: str | Path) -> None:
+        self.registry_dir = Path(registry_dir)
+        self._cache: dict[str, _CompiledForest] = {}
+        self.timings: dict[str, list[float]] = {
+            "load": [],
+            "setup": [],
+            "inference": [],
+        }
+
+    def model_path(self, name: str) -> Path:
+        return self.registry_dir / f"{name}.json"
+
+    def load(self, name: str) -> _CompiledForest:
+        """Fetch a model, reading and compiling it only on first use."""
+        if name not in self._cache:
+            start = time.perf_counter()
+            document = load_model_file(self.model_path(name))
+            self.timings["load"].append(time.perf_counter() - start)
+            start = time.perf_counter()
+            self._cache[name] = _CompiledForest(document)
+            self.timings["setup"].append(time.perf_counter() - start)
+        return self._cache[name]
+
+    def predict(self, name: str, X: np.ndarray) -> np.ndarray:
+        """Score the named model; inference time is recorded."""
+        model = self.load(name)
+        start = time.perf_counter()
+        out = model.predict(X)
+        self.timings["inference"].append(time.perf_counter() - start)
+        return out
+
+    def is_cached(self, name: str) -> bool:
+        return name in self._cache
+
+    def mean_timing(self, phase: str) -> float:
+        """Mean seconds of a phase (``load``/``setup``/``inference``)."""
+        samples = self.timings[phase]
+        return sum(samples) / len(samples) if samples else 0.0
+
+
+_FAMILIES: dict[str, type[PricePerfModel]] = {
+    "power_law": PowerLawPPM,
+    "amdahl": AmdahlPPM,
+}
+
+
+class PortablePPMScorer:
+    """Adapt a registry model to the AutoExecutor rule's interface.
+
+    The model's metadata must record its PPM family under ``"family"``
+    and — when the training pipeline regressed targets in log space — the
+    per-parameter mask under ``"log_params"``.  Both are written by
+    :meth:`repro.core.parameter_model.ParameterModel.export_metadata`.
+    """
+
+    _LOG_EPSILON = 1e-3  # must match the parameter model's transform
+
+    def __init__(self, runtime: PortableModelRuntime, name: str) -> None:
+        self.runtime = runtime
+        self.name = name
+
+    def predict_ppm(self, features) -> PricePerfModel:
+        vector = getattr(features, "values", features)
+        raw = self.runtime.predict(self.name, np.asarray(vector, dtype=float))
+        metadata = self.runtime.load(self.name).metadata
+        family = metadata.get("family")
+        if family not in _FAMILIES:
+            raise ValueError(
+                f"model {self.name!r} metadata lacks a valid PPM family "
+                f"(got {family!r})"
+            )
+        params = np.array(raw, dtype=float)
+        log_mask = metadata.get("log_params", [False] * params.size)
+        for col, use_log in enumerate(log_mask):
+            if use_log:
+                params[col] = max(
+                    float(np.exp(params[col])) - self._LOG_EPSILON, 0.0
+                )
+        return _FAMILIES[family].from_parameters(params)

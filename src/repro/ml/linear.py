@@ -1,0 +1,82 @@
+"""Ordinary least-squares linear regression.
+
+Used to fit the PPM functional forms (Section 3.4 of the paper):
+
+- AE_PL: linear regression of ``log t(n)`` on ``log n`` over the
+  non-saturating region yields ``log b`` (intercept) and ``a`` (slope).
+- AE_AL: linear regression of ``t(n)`` on ``1/n`` yields ``s`` (intercept)
+  and ``p`` (slope).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinearRegression"]
+
+
+class LinearRegression:
+    """Least-squares linear model ``y = X @ coef_ + intercept_``.
+
+    Args:
+        fit_intercept: include a bias term (default True).
+
+    Supports multi-output ``y``; solved with :func:`numpy.linalg.lstsq`,
+    which handles rank-deficient design matrices gracefully.
+    """
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | float | None = None
+        self.n_features_in_: int = 0
+        self._y_was_1d = False
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim == 1:
+            X = X[:, None]
+        if X.ndim != 2:
+            raise ValueError(f"X must be 1-D or 2-D, got shape {X.shape}")
+        self._y_was_1d = y.ndim == 1
+        y2d = y[:, None] if self._y_was_1d else y
+        if X.shape[0] != y2d.shape[0]:
+            raise ValueError("X and y have inconsistent lengths")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+
+        self.n_features_in_ = X.shape[1]
+        if self.fit_intercept:
+            design = np.hstack([X, np.ones((X.shape[0], 1))])
+        else:
+            design = X
+        solution, *_ = np.linalg.lstsq(design, y2d, rcond=None)
+        if self.fit_intercept:
+            coef = solution[:-1]
+            intercept = solution[-1]
+        else:
+            coef = solution
+            intercept = np.zeros(y2d.shape[1])
+        if self._y_was_1d:
+            self.coef_ = coef[:, 0]
+            self.intercept_ = float(intercept[0])
+        else:
+            self.coef_ = coef.T
+            self.intercept_ = intercept
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("this LinearRegression is not fitted yet")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[:, None]
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features; the model was fit with "
+                f"{self.n_features_in_}"
+            )
+        if self._y_was_1d:
+            return X @ self.coef_ + self.intercept_
+        return X @ self.coef_.T + self.intercept_

@@ -1,0 +1,78 @@
+"""Regression metrics.
+
+Includes :func:`total_absolute_error_ratio`, the building block of the
+paper's accuracy metric (Equation 6):
+
+    E(n) = sum_q |t_hat_q(n) - t_q(n)| / sum_q t_q(n)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mean_squared_error",
+    "mean_absolute_error",
+    "r2_score",
+    "total_absolute_error_ratio",
+]
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("metrics are undefined for empty inputs")
+    return y_true, y_pred
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean of squared residuals (averaged over all outputs)."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean of absolute residuals (averaged over all outputs)."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination, uniformly averaged over outputs.
+
+    Constant targets score 1.0 on a perfect prediction and 0.0 otherwise,
+    matching scikit-learn's convention.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    if y_true.ndim == 1:
+        y_true = y_true[:, None]
+        y_pred = y_pred[:, None]
+    scores = []
+    for col in range(y_true.shape[1]):
+        t = y_true[:, col]
+        p = y_pred[:, col]
+        ss_res = float(np.sum((t - p) ** 2))
+        ss_tot = float(np.sum((t - t.mean()) ** 2))
+        if ss_tot == 0.0:
+            scores.append(1.0 if ss_res == 0.0 else 0.0)
+        else:
+            scores.append(1.0 - ss_res / ss_tot)
+    return float(np.mean(scores))
+
+
+def total_absolute_error_ratio(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Paper Equation 6: total absolute error over total actual value.
+
+    The sums run over all entries.  Raises when the denominator is zero
+    (the metric is undefined for all-zero actuals).
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    denom = float(np.sum(y_true))
+    if denom == 0.0:
+        raise ValueError("E(n) is undefined when sum of actual values is 0")
+    return float(np.sum(np.abs(y_pred - y_true)) / denom)

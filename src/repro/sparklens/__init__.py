@@ -1,0 +1,19 @@
+"""Sparklens-like post-hoc run-time estimator.
+
+Qubole Sparklens analyzes the executor logs of a *finished* Spark
+application and estimates what its run time would have been with other
+executor counts, by replaying the scheduler: it determines the critical
+path and distributes the remaining tasks over the hypothetical executor
+fleet (paper Section 3.2).  The paper uses these estimates — obtained from
+a single run at ``n = 16`` — to augment its training data.
+
+This subpackage reproduces that tool against the engine simulator's
+execution logs.  Estimates are deterministic, monotone non-increasing in
+``n``, and saturate once every stage is bounded by its longest task —
+the exact properties the paper relies on (Section 3.1, reason 3).
+"""
+
+from repro.sparklens.log import ExecutionLog, StageLog
+from repro.sparklens.simulator import SparklensEstimator
+
+__all__ = ["ExecutionLog", "StageLog", "SparklensEstimator"]

@@ -1,0 +1,87 @@
+"""Execution logs captured from finished runs.
+
+An :class:`ExecutionLog` is what a real deployment would scrape from the
+Spark event log: the per-stage task durations actually observed, the stage
+dependency DAG, and the driver time.  Crucially it records durations *as
+observed at the run's executor count* — a post-hoc analyzer cannot know how
+durations would change under different memory pressure, which is exactly
+the bias the paper measures in Sparklens estimates at small ``n``
+(Section 5.2) and under changed input sizes (Section 5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["StageLog", "ExecutionLog"]
+
+
+@dataclass
+class StageLog:
+    """Observed execution record of one stage.
+
+    Attributes:
+        stage_id: stage identifier within the query.
+        dependencies: stage ids this stage waited for.
+        task_durations: observed per-task wall-clock durations (seconds).
+    """
+
+    stage_id: int
+    dependencies: list[int]
+    task_durations: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.task_durations = np.asarray(self.task_durations, dtype=float)
+        if self.task_durations.size == 0:
+            raise ValueError("a stage log must contain at least one task")
+        if np.any(self.task_durations <= 0):
+            raise ValueError("task durations must be positive")
+
+    @property
+    def total_work(self) -> float:
+        return float(self.task_durations.sum())
+
+    @property
+    def critical_task(self) -> float:
+        return float(self.task_durations.max())
+
+    @property
+    def num_tasks(self) -> int:
+        return int(self.task_durations.size)
+
+
+@dataclass
+class ExecutionLog:
+    """Complete post-execution record of one query run.
+
+    Attributes:
+        query_id: workload identifier.
+        driver_seconds: serial driver time observed.
+        stages: per-stage logs, topologically ordered by id.
+        cores_per_executor: ``ec`` of the logged run.
+        executors_used: peak executor count of the logged run.
+    """
+
+    query_id: str
+    driver_seconds: float
+    stages: list[StageLog] = field(default_factory=list)
+    cores_per_executor: int = 4
+    executors_used: int = 16
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("an execution log needs at least one stage")
+        ids = {s.stage_id for s in self.stages}
+        for stage in self.stages:
+            for dep in stage.dependencies:
+                if dep not in ids:
+                    raise ValueError(f"unknown dependency {dep}")
+                if dep >= stage.stage_id:
+                    raise ValueError("stage ids must be topologically ordered")
+
+    @property
+    def total_work(self) -> float:
+        """Total observed task-seconds across all stages."""
+        return sum(stage.total_work for stage in self.stages)

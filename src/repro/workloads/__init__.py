@@ -1,0 +1,23 @@
+"""Workload substrates.
+
+- :mod:`~repro.workloads.tpcds` — a TPC-DS-like analytical workload: 103
+  deterministic query-plan templates (99 queries plus the b-variants the
+  paper lists) whose cardinalities scale with the TPC-DS scale factor.
+- :mod:`~repro.workloads.generator` — bundles templates into a
+  :class:`~repro.workloads.generator.Workload` with cached stage graphs.
+- :mod:`~repro.workloads.production` — a synthetic stand-in for the
+  Microsoft production telemetry behind the paper's Figures 2 and 3a/3b.
+"""
+
+from repro.workloads.generator import Workload
+from repro.workloads.production import ProductionTrace, generate_production_trace
+from repro.workloads.tpcds import QUERY_IDS, build_query, tpcds_workload
+
+__all__ = [
+    "QUERY_IDS",
+    "build_query",
+    "tpcds_workload",
+    "Workload",
+    "ProductionTrace",
+    "generate_production_trace",
+]

@@ -1,0 +1,84 @@
+"""Workload bundles: plans + optimized plans + cached stage graphs.
+
+A :class:`Workload` ties together everything downstream code needs for one
+(scale factor, seed) instantiation of the TPC-DS-like benchmark: the raw
+plans, the optimizer-rewritten plans (features are extracted from
+*optimized* plans, as in the paper), and the compiled stage graphs the
+simulator executes.  Stage graphs are compiled lazily and cached — the
+experiment harness touches each query many times (six executor counts,
+several policies, repeated runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.optimizer import Optimizer
+from repro.engine.plan import LogicalPlan
+from repro.engine.stages import (
+    DEFAULT_COMPILER_CONFIG,
+    StageCompilerConfig,
+    StageGraph,
+    compile_stages,
+)
+from repro.workloads.tpcds import QUERY_IDS, build_query
+
+__all__ = ["Workload"]
+
+
+@dataclass
+class Workload:
+    """One instantiation of the TPC-DS-like workload.
+
+    Args:
+        scale_factor: TPC-DS scale factor.
+        seed: workload seed (varies the templates; the paper's workload is
+            fixed, so benches use the default).
+        query_ids: subset of queries (defaults to all 103).
+        compiler_config: stage-compiler knobs.
+    """
+
+    scale_factor: float
+    seed: int = 0
+    query_ids: tuple[str, ...] = QUERY_IDS
+    compiler_config: StageCompilerConfig = DEFAULT_COMPILER_CONFIG
+    _plans: dict[str, LogicalPlan] = field(default_factory=dict, repr=False)
+    _optimized: dict[str, LogicalPlan] = field(default_factory=dict, repr=False)
+    _graphs: dict[str, StageGraph] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.query_ids) - set(QUERY_IDS)
+        if unknown:
+            raise ValueError(f"unknown query ids: {sorted(unknown)}")
+        self._optimizer = Optimizer()
+
+    def plan(self, query_id: str) -> LogicalPlan:
+        """The raw (pre-optimization) plan for a query."""
+        if query_id not in self._plans:
+            if query_id not in self.query_ids:
+                raise KeyError(query_id)
+            self._plans[query_id] = build_query(
+                query_id, self.scale_factor, self.seed
+            )
+        return self._plans[query_id]
+
+    def optimized_plan(self, query_id: str) -> LogicalPlan:
+        """The optimizer-rewritten plan (the featurization input)."""
+        if query_id not in self._optimized:
+            context = self._optimizer.optimize(self.plan(query_id))
+            self._optimized[query_id] = context.plan
+        return self._optimized[query_id]
+
+    def stage_graph(self, query_id: str) -> StageGraph:
+        """The compiled stage DAG the simulator executes."""
+        if query_id not in self._graphs:
+            self._graphs[query_id] = compile_stages(
+                self.optimized_plan(query_id), self.compiler_config
+            )
+        return self._graphs[query_id]
+
+    def __iter__(self):
+        return iter(self.query_ids)
+
+    def __len__(self) -> int:
+        return len(self.query_ids)

@@ -1,0 +1,218 @@
+"""Synthetic production Spark trace.
+
+The paper motivates per-query allocation with insights from "a large subset
+of daily production Spark workloads at Microsoft consisting of 90,224
+applications and 840,278 queries across 3,245 clusters" (Section 2.1–2.2,
+Figures 2 and 3a/3b).  That telemetry is proprietary; this module generates
+a seeded synthetic trace whose marginal distributions match every statistic
+the paper reports:
+
+- more than 60 % of applications run more than one query (Fig 2a), with a
+  heavy tail reaching thousands of queries;
+- within an application, queries vary: the median coefficient of variation
+  is ≈20 % for operator counts, ≈40 % for rows processed, ≈60 % for query
+  times (Fig 2b);
+- ≈70 % of applications never share their cluster (Fig 2c);
+- 59 % of applications enable dynamic allocation; 97 % of those keep the
+  default min/max thresholds (0 and 2^31−1); the rest set ranges that are
+  mostly 2, growing to 64 (Fig 3a);
+- of the 41 % without dynamic allocation, 80 % run with the default 2
+  executors (Fig 3b), with a tail reaching thousands of total cores.
+
+Per-application coefficients of variation are *computed from per-query
+draws*, not sampled directly, so the trace behaves like real telemetry
+under any downstream aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ProductionTrace", "generate_production_trace"]
+
+#: Spark's pathological defaults the paper calls out (Section 2.2).
+DEFAULT_MIN_EXECUTORS = 0
+DEFAULT_MAX_EXECUTORS = 2**31 - 1
+
+
+@dataclass(frozen=True)
+class ProductionTrace:
+    """One synthetic production workload snapshot.
+
+    All arrays are per-application unless noted.
+
+    Attributes:
+        queries_per_app: number of queries each application ran.
+        cov_operator_counts: CoV (%) of operator counts across the app's
+            queries (0 for single-query apps).
+        cov_rows_processed: CoV (%) of rows processed.
+        cov_query_times: CoV (%) of query run times.
+        max_concurrent_apps: peak number of applications sharing the app's
+            cluster while it ran (1 = never shared).
+        dynamic_allocation: whether the app enabled dynamic allocation.
+        default_thresholds: for DA apps, whether min/max kept the defaults.
+        da_range: for DA apps with custom thresholds, ``max − min``
+          (0 elsewhere).
+        static_executors: for non-DA apps, the static executor count
+          (0 elsewhere).
+        cores_per_executor: executor width used for the total-cores CDF.
+        n_clusters: number of distinct clusters in the trace.
+    """
+
+    queries_per_app: np.ndarray
+    cov_operator_counts: np.ndarray
+    cov_rows_processed: np.ndarray
+    cov_query_times: np.ndarray
+    max_concurrent_apps: np.ndarray
+    dynamic_allocation: np.ndarray
+    default_thresholds: np.ndarray
+    da_range: np.ndarray
+    static_executors: np.ndarray
+    cores_per_executor: int
+    n_clusters: int
+
+    @property
+    def n_applications(self) -> int:
+        return int(self.queries_per_app.size)
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.queries_per_app.sum())
+
+    def multi_query_fraction(self) -> float:
+        """Fraction of applications with more than one query (Fig 2a)."""
+        return float(np.mean(self.queries_per_app > 1))
+
+    def unshared_cluster_fraction(self) -> float:
+        """Fraction of applications that never share a cluster (Fig 2c)."""
+        return float(np.mean(self.max_concurrent_apps == 1))
+
+    def da_fraction(self) -> float:
+        return float(np.mean(self.dynamic_allocation))
+
+    def default_threshold_fraction(self) -> float:
+        """Among DA apps, the fraction keeping Spark's default range."""
+        da = self.dynamic_allocation
+        if not np.any(da):
+            return 0.0
+        return float(np.mean(self.default_thresholds[da]))
+
+    def custom_da_ranges(self) -> np.ndarray:
+        """DA ranges of the apps that customized their thresholds."""
+        mask = self.dynamic_allocation & ~self.default_thresholds
+        return self.da_range[mask]
+
+    def static_allocations(self) -> np.ndarray:
+        """Executor counts of the apps without dynamic allocation."""
+        return self.static_executors[~self.dynamic_allocation]
+
+    def static_total_cores(self) -> np.ndarray:
+        return self.static_allocations() * self.cores_per_executor
+
+
+def _per_app_cov(
+    rng: np.random.Generator,
+    queries_per_app: np.ndarray,
+    median_cov: float,
+) -> np.ndarray:
+    """Per-app CoV (%) computed from simulated per-query draws.
+
+    Each app draws a dispersion parameter around the target (spread across
+    apps), then its queries draw lognormal values; the CoV of those draws
+    is returned.  Single-query apps get CoV 0 by construction.
+    """
+    # Lognormal sigma whose CoV equals the target median.
+    target_sigma = float(np.sqrt(np.log(1.0 + (median_cov / 100.0) ** 2)))
+    n_apps = queries_per_app.size
+    app_sigma = target_sigma * rng.lognormal(mean=0.0, sigma=0.6, size=n_apps)
+    covs = np.zeros(n_apps)
+    for i, (q, sigma) in enumerate(zip(queries_per_app, app_sigma)):
+        if q < 2:
+            continue
+        draws = rng.lognormal(mean=0.0, sigma=sigma, size=int(q))
+        mean = draws.mean()
+        covs[i] = 100.0 * draws.std() / mean if mean > 0 else 0.0
+    return covs
+
+
+def generate_production_trace(
+    n_applications: int = 9_000,
+    n_clusters: int = 325,
+    cores_per_executor: int = 4,
+    seed: int = 0,
+) -> ProductionTrace:
+    """Generate a synthetic production trace.
+
+    Args:
+        n_applications: trace size (the paper's snapshot had 90,224 apps;
+            the default is a 10× downscale that preserves every CDF).
+        n_clusters: distinct clusters (downscaled from 3,245 likewise).
+        cores_per_executor: executor width for the total-cores CDF.
+        seed: RNG seed; the trace is fully deterministic given the seed.
+    """
+    if n_applications < 1 or n_clusters < 1:
+        raise ValueError("trace sizes must be positive")
+    rng = np.random.default_rng(seed)
+
+    # --- Fig 2a: queries per application --------------------------------
+    # ~38 % single-query apps; the rest follow a heavy-tailed lognormal
+    # reaching into the thousands.
+    single = rng.random(n_applications) < 0.38
+    tail = np.ceil(rng.lognormal(mean=1.4, sigma=1.5, size=n_applications))
+    queries_per_app = np.where(single, 1, 1 + tail).astype(int)
+    queries_per_app = np.minimum(queries_per_app, 10_000)
+
+    # --- Fig 2b: within-app variation ------------------------------------
+    # Targets are set so that, *counting single-query apps as zero
+    # variation*, half of all applications still exceed the paper's 20 % /
+    # 40 % / 60 % thresholds (Figure 2b reads the CDF over all apps).
+    cov_ops = _per_app_cov(rng, queries_per_app, median_cov=50.0)
+    cov_rows = _per_app_cov(rng, queries_per_app, median_cov=110.0)
+    cov_times = _per_app_cov(rng, queries_per_app, median_cov=260.0)
+
+    # --- Fig 2c: concurrency -------------------------------------------
+    # ~70 % of apps never share their cluster; the rest see geometrically
+    # rarer peaks up to 64 concurrent applications.
+    shared = rng.random(n_applications) >= 0.70
+    peaks = np.ones(n_applications, dtype=int)
+    extra = rng.geometric(p=0.45, size=n_applications)
+    peaks[shared] = np.minimum(1 + extra[shared] * 2, 64)
+
+    # --- Fig 3a/3b: allocation configuration -----------------------------
+    dynamic = rng.random(n_applications) < 0.59
+    defaults = rng.random(n_applications) < 0.97
+
+    # Custom DA ranges: ~60 % at 2, the rest spread over 4..64.
+    range_choices = np.array([2, 4, 8, 16, 32, 64])
+    range_weights = np.array([0.60, 0.14, 0.10, 0.07, 0.05, 0.04])
+    da_range = rng.choice(
+        range_choices, size=n_applications, p=range_weights
+    )
+    da_range = np.where(dynamic & ~defaults, da_range, 0)
+
+    # Static allocations: 80 % at the default of 2 executors; tail up to
+    # 512 executors (2048 cores at ec=4).
+    static_choices = np.array([1, 2, 4, 8, 16, 32, 64, 128, 256, 512])
+    static_weights = np.array(
+        [0.04, 0.80, 0.05, 0.035, 0.025, 0.02, 0.012, 0.008, 0.006, 0.004]
+    )
+    static = rng.choice(
+        static_choices, size=n_applications, p=static_weights
+    )
+    static = np.where(~dynamic, static, 0)
+
+    return ProductionTrace(
+        queries_per_app=queries_per_app,
+        cov_operator_counts=cov_ops,
+        cov_rows_processed=cov_rows,
+        cov_query_times=cov_times,
+        max_concurrent_apps=peaks,
+        dynamic_allocation=dynamic,
+        default_thresholds=defaults & dynamic,
+        da_range=da_range,
+        static_executors=static,
+        cores_per_executor=cores_per_executor,
+        n_clusters=n_clusters,
+    )

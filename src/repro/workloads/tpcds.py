@@ -1,0 +1,352 @@
+"""TPC-DS-like workload: 103 deterministic query-plan templates.
+
+The paper evaluates on "103 TPC-DS queries (99 queries + variants)" at
+scale factors 10 and 100 (Section 5.1).  Real TPC-DS SQL text and dsdgen
+data are out of scope for a simulator substrate; what the models consume is
+the pair (compile-time plan features, run-time curve), so this module
+generates *plans*: trees over the 14 operator kinds with realistic
+cardinality and byte annotations, deterministic per (query id, scale
+factor).
+
+Design notes:
+
+- The table catalog mirrors TPC-DS: fact tables (store_sales, ...) scale
+  linearly with SF; customer-ish dimensions scale sublinearly; calendar
+  dimensions are fixed.  This is what makes the optimal executor count
+  depend on SF (paper Figure 3c).
+- Each query id seeds its own RNG (a stable CRC, not Python's salted
+  hash), so templates are reproducible across processes and runs.
+- Query "complexity classes" (simple / medium / complex) control the
+  number of fact branches, dimensions, and heavyweight operators, giving
+  the operator-count spread the paper's feature analysis needs.
+- The b-variants (q14b, q23b, q24b, q39b) perturb their base template the
+  way the second parameter substitution of the official variants does.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.plan import InputSource, LogicalPlan, OperatorKind, PlanNode
+
+__all__ = ["QUERY_IDS", "TableSpec", "TABLE_CATALOG", "build_query", "tpcds_workload"]
+
+
+#: The paper's 103 queries: q1..q99 plus the four b-variants it plots.
+QUERY_IDS: tuple[str, ...] = tuple(
+    [f"q{i}" for i in range(1, 100)] + ["q14b", "q23b", "q24b", "q39b"]
+)
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """One catalog table.
+
+    Attributes:
+        name: table name.
+        rows_per_sf: row count at SF=1.
+        bytes_per_row: average row width on disk.
+        scale_exponent: rows scale as ``SF ** scale_exponent`` (1.0 for
+            fact tables, 0 for calendar dimensions).
+    """
+
+    name: str
+    rows_per_sf: float
+    bytes_per_row: float
+    scale_exponent: float
+
+    def rows(self, scale_factor: float) -> float:
+        return self.rows_per_sf * scale_factor**self.scale_exponent
+
+    def bytes(self, scale_factor: float) -> float:
+        return self.rows(scale_factor) * self.bytes_per_row
+
+    def source(self, scale_factor: float) -> InputSource:
+        return InputSource(
+            name=self.name,
+            bytes=self.bytes(scale_factor),
+            rows=self.rows(scale_factor),
+        )
+
+
+_FACTS = [
+    TableSpec("store_sales", 2_880_000, 100.0, 1.0),
+    TableSpec("catalog_sales", 1_440_000, 120.0, 1.0),
+    TableSpec("web_sales", 720_000, 120.0, 1.0),
+    TableSpec("store_returns", 288_000, 80.0, 1.0),
+    TableSpec("catalog_returns", 144_000, 90.0, 1.0),
+    TableSpec("web_returns", 72_000, 90.0, 1.0),
+    TableSpec("inventory", 11_745_000, 30.0, 1.0),
+]
+
+_BIG_DIMS = [
+    TableSpec("customer", 100_000, 132.0, 0.75),
+    TableSpec("customer_address", 50_000, 110.0, 0.75),
+    TableSpec("customer_demographics", 1_920_800, 42.0, 0.0),
+]
+
+_SMALL_DIMS = [
+    TableSpec("item", 18_000, 255.0, 0.45),
+    TableSpec("date_dim", 73_049, 141.0, 0.0),
+    TableSpec("time_dim", 86_400, 59.0, 0.0),
+    TableSpec("store", 102, 263.0, 0.45),
+    TableSpec("warehouse", 10, 117.0, 0.45),
+    TableSpec("web_site", 30, 292.0, 0.45),
+    TableSpec("promotion", 300, 124.0, 0.45),
+    TableSpec("household_demographics", 7_200, 21.0, 0.0),
+]
+
+TABLE_CATALOG: dict[str, TableSpec] = {
+    t.name: t for t in _FACTS + _BIG_DIMS + _SMALL_DIMS
+}
+
+#: Fact-table popularity: TPC-DS templates hit the three sales channels far
+#: more often than the returns tables (store > catalog > web).
+_FACT_WEIGHTS = np.array([0.27, 0.21, 0.17, 0.11, 0.09, 0.08, 0.07])
+
+
+def _query_seed(query_id: str) -> int:
+    """Stable per-query seed (CRC32 of the id; Python's hash is salted)."""
+    return zlib.crc32(query_id.encode("utf-8"))
+
+
+def _base_id(query_id: str) -> str:
+    """``q14b`` → ``q14`` (variants share their base's template)."""
+    return query_id[:-1] if query_id.endswith("b") else query_id
+
+
+def _exchange(child: PlanNode) -> PlanNode:
+    return PlanNode(
+        kind=OperatorKind.EXCHANGE, children=[child], rows_out=child.rows_out
+    )
+
+
+def _scan_branch(
+    table: TableSpec,
+    scale_factor: float,
+    rng: np.random.Generator,
+) -> PlanNode:
+    """Scan → pushable filter → project over one table."""
+    scan = PlanNode(kind=OperatorKind.SCAN, source=table.source(scale_factor))
+    selectivity = float(np.exp(rng.uniform(np.log(0.02), np.log(0.6))))
+    node = PlanNode(
+        kind=OperatorKind.FILTER,
+        children=[scan],
+        rows_out=scan.rows_out * selectivity,
+        selectivity=selectivity,
+        pushable=bool(rng.random() < 0.8),
+    )
+    columns_kept = float(rng.uniform(0.2, 0.8))
+    node = PlanNode(
+        kind=OperatorKind.PROJECT,
+        children=[node],
+        rows_out=node.rows_out,
+        columns_kept=columns_kept,
+    )
+    return node
+
+
+def _join(
+    left: PlanNode,
+    right: PlanNode,
+    rows_out: float,
+    shuffle_left: bool = False,
+    shuffle_right: bool = False,
+) -> PlanNode:
+    if shuffle_left:
+        left = _exchange(left)
+    if shuffle_right:
+        right = _exchange(right)
+    return PlanNode(
+        kind=OperatorKind.JOIN, children=[left, right], rows_out=rows_out
+    )
+
+
+@dataclass(frozen=True)
+class _Complexity:
+    n_facts: int
+    n_small_dims: int
+    n_big_dims: int
+    extra_ops: int
+
+
+def _complexity_for(rng: np.random.Generator) -> _Complexity:
+    roll = rng.random()
+    if roll < 0.25:  # simple reporting query
+        return _Complexity(
+            n_facts=1,
+            n_small_dims=int(rng.integers(1, 3)),
+            n_big_dims=0,
+            extra_ops=int(rng.integers(0, 2)),
+        )
+    if roll < 0.70:  # medium
+        return _Complexity(
+            n_facts=int(rng.integers(1, 3)),
+            n_small_dims=int(rng.integers(2, 5)),
+            n_big_dims=int(rng.integers(0, 2)),
+            extra_ops=int(rng.integers(1, 3)),
+        )
+    return _Complexity(  # complex multi-channel query
+        n_facts=int(rng.integers(2, 4)),
+        n_small_dims=int(rng.integers(3, 7)),
+        n_big_dims=int(rng.integers(1, 3)),
+        extra_ops=int(rng.integers(2, 5)),
+    )
+
+
+def _fact_branch(
+    rng: np.random.Generator,
+    scale_factor: float,
+    n_small_dims: int,
+    n_big_dims: int,
+) -> PlanNode:
+    """One fact table joined with its dimensions.
+
+    Small dimensions broadcast-join (no exchange); big dimensions shuffle
+    both sides, creating stage boundaries exactly where Spark would.
+    """
+    fact = _FACTS[int(rng.choice(len(_FACTS), p=_FACT_WEIGHTS))]
+    node = _scan_branch(fact, scale_factor, rng)
+    for _ in range(n_small_dims):
+        dim = _SMALL_DIMS[int(rng.integers(0, len(_SMALL_DIMS)))]
+        dim_branch = _scan_branch(dim, scale_factor, rng)
+        keep = float(rng.uniform(0.3, 1.0))
+        node = _join(node, dim_branch, rows_out=node.rows_out * keep)
+    for _ in range(n_big_dims):
+        dim = _BIG_DIMS[int(rng.integers(0, len(_BIG_DIMS)))]
+        dim_branch = _scan_branch(dim, scale_factor, rng)
+        keep = float(rng.uniform(0.3, 1.0))
+        node = _join(
+            node,
+            dim_branch,
+            rows_out=node.rows_out * keep,
+            shuffle_left=True,
+            shuffle_right=True,
+        )
+    return node
+
+
+def _apply_extra_op(
+    node: PlanNode, rng: np.random.Generator
+) -> PlanNode:
+    """Sprinkle one of the rarer operator kinds on top of a branch."""
+    kind = [
+        OperatorKind.WINDOW,
+        OperatorKind.EXPAND,
+        OperatorKind.GENERATE,
+        OperatorKind.INTERSECT,
+        OperatorKind.EXCEPT,
+    ][int(rng.integers(0, 5))]
+    if kind in (OperatorKind.INTERSECT, OperatorKind.EXCEPT):
+        # Set operations need two inputs; reuse a cheap calendar branch.
+        other = _scan_branch(_SMALL_DIMS[1], 1.0, rng)
+        return PlanNode(
+            kind=kind,
+            children=[node, other],
+            rows_out=node.rows_out * 0.5,
+        )
+    if kind == OperatorKind.EXPAND:
+        return PlanNode(kind=kind, children=[node], rows_out=node.rows_out * 2)
+    if kind == OperatorKind.GENERATE:
+        return PlanNode(kind=kind, children=[node], rows_out=node.rows_out * 1.5)
+    return PlanNode(kind=kind, children=[_exchange(node)], rows_out=node.rows_out)
+
+
+def build_query(
+    query_id: str, scale_factor: float, seed: int = 0
+) -> LogicalPlan:
+    """Build the plan for one query at a scale factor.
+
+    Args:
+        query_id: one of :data:`QUERY_IDS`.
+        scale_factor: TPC-DS scale factor (paper: 10 and 100).
+        seed: workload-level seed, mixed into every query's template seed.
+
+    Returns:
+        A validated :class:`~repro.engine.plan.LogicalPlan`.  The same
+        (query_id, scale_factor, seed) always yields the same plan.
+    """
+    if query_id not in QUERY_IDS:
+        raise ValueError(f"unknown query id: {query_id!r}")
+    if scale_factor <= 0:
+        raise ValueError("scale factor must be positive")
+
+    is_variant = query_id.endswith("b")
+    rng = np.random.default_rng(_query_seed(_base_id(query_id)) + 7919 * seed)
+    complexity = _complexity_for(rng)
+
+    branches = [
+        _fact_branch(
+            rng, scale_factor, complexity.n_small_dims, complexity.n_big_dims
+        )
+        for _ in range(complexity.n_facts)
+    ]
+    if len(branches) == 1:
+        node = branches[0]
+    elif rng.random() < 0.4 or is_variant:
+        # Multi-channel queries union their branches (q14-style).
+        node = PlanNode(
+            kind=OperatorKind.UNION,
+            children=[_exchange(b) for b in branches],
+            rows_out=sum(b.rows_out for b in branches),
+        )
+    else:
+        node = branches[0]
+        for other in branches[1:]:
+            keep = float(rng.uniform(0.05, 0.6))
+            node = _join(
+                node,
+                other,
+                rows_out=max(node.rows_out, other.rows_out) * keep,
+                shuffle_left=True,
+                shuffle_right=True,
+            )
+
+    for _ in range(complexity.extra_ops):
+        node = _apply_extra_op(node, rng)
+
+    # Every query aggregates (TPC-DS is a reporting workload).
+    group_reduction = float(np.exp(rng.uniform(np.log(1e-4), np.log(5e-2))))
+    node = PlanNode(
+        kind=OperatorKind.AGGREGATE,
+        children=[_exchange(node)],
+        rows_out=max(node.rows_out * group_reduction, 1.0),
+    )
+    if rng.random() < 0.55:
+        node = PlanNode(
+            kind=OperatorKind.SORT,
+            children=[_exchange(node)],
+            rows_out=node.rows_out,
+        )
+    if rng.random() < 0.6:
+        node = PlanNode(
+            kind=OperatorKind.LIMIT,
+            children=[node],
+            rows_out=min(node.rows_out, 100.0),
+        )
+
+    if is_variant:
+        # Variants re-parameterize the base query: different predicate
+        # constants → different selectivity at the top of the plan.
+        variant_rng = np.random.default_rng(_query_seed(query_id))
+        node = PlanNode(
+            kind=OperatorKind.FILTER,
+            children=[node],
+            rows_out=node.rows_out * 0.7,
+            selectivity=float(variant_rng.uniform(0.4, 0.9)),
+            pushable=False,
+        )
+
+    plan = LogicalPlan(root=node, query_id=query_id)
+    plan.validate()
+    return plan
+
+
+def tpcds_workload(
+    scale_factor: float, seed: int = 0
+) -> list[LogicalPlan]:
+    """All 103 query plans at the given scale factor."""
+    return [build_query(qid, scale_factor, seed) for qid in QUERY_IDS]

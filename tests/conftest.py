@@ -1,0 +1,52 @@
+"""Shared fixtures.
+
+Expensive, deterministic artifacts (workloads, training datasets, ground
+truth) are session-scoped: the suite builds each exactly once.  Tests that
+need the full 103-query workload use ``workload100``; most use the smaller
+``workload_small`` (a 20-query subset at SF=5) to stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.training import build_training_dataset
+from repro.engine.cluster import Cluster
+from repro.experiments.runtime_data import collect_actual_runtimes
+from repro.workloads.generator import Workload
+from repro.workloads.tpcds import QUERY_IDS
+
+SMALL_QUERY_IDS = tuple(QUERY_IDS[::5])  # 21 spread-out queries
+
+
+@pytest.fixture(scope="session")
+def cluster() -> Cluster:
+    return Cluster()
+
+
+@pytest.fixture(scope="session")
+def workload_small() -> Workload:
+    return Workload(scale_factor=5, query_ids=SMALL_QUERY_IDS)
+
+
+@pytest.fixture(scope="session")
+def workload100() -> Workload:
+    return Workload(scale_factor=100)
+
+
+@pytest.fixture(scope="session")
+def dataset_small(workload_small, cluster):
+    return build_training_dataset(workload_small, cluster)
+
+
+@pytest.fixture(scope="session")
+def actuals_small(workload_small, cluster):
+    return collect_actual_runtimes(
+        workload_small, cluster, repeats=3, seed=0
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,82 @@
+"""Unit tests for total-cores modeling and executor factorization."""
+
+import pytest
+
+from repro.core.cores import CONFIG_GRID_TABLE1, Factorization, factorize_cores
+from repro.engine.cluster import NodeSpec
+
+
+class TestTable1Grid:
+    def test_thirteen_configurations(self):
+        assert len(CONFIG_GRID_TABLE1) == 13
+
+    def test_k_equals_n_times_ec(self):
+        for ec, n, k in CONFIG_GRID_TABLE1:
+            assert k == n * ec
+
+    def test_ec4_series_covers_paper_range(self):
+        ec4 = [(n, k) for ec, n, k in CONFIG_GRID_TABLE1 if ec == 4]
+        assert (1, 4) in ec4 and (48, 192) in ec4
+
+
+class TestFactorizeCores:
+    def test_paper_testbed_prefers_ec4(self):
+        """8-core/64 GB nodes with 28 GB executors: ec=4 strands nothing
+        (2 executors x 4 cores) while memory only fits 2 executors."""
+        result = factorize_cores(32)
+        assert result.cores_per_executor == 4
+        assert result.executors == 8
+        assert result.stranded_cores_per_node == 0
+
+    def test_k_must_split_into_whole_executors(self):
+        result = factorize_cores(12)
+        assert result.total_cores == 12
+
+    def test_memory_constrains_small_executors(self):
+        # 1-core executors: memory fits only 2 per node -> 6 cores stranded
+        result = factorize_cores(8, node=NodeSpec(cores=8, memory_gb=64))
+        assert result.cores_per_executor == 4
+
+    def test_tie_break_prefers_smaller_ec(self):
+        # plentiful memory: ec in {1,2,4,8} all strand 0 -> pick ec=1
+        result = factorize_cores(
+            8, node=NodeSpec(cores=8, memory_gb=1024), executor_memory_gb=1.0
+        )
+        assert result.cores_per_executor == 1
+        assert result.executors == 8
+
+    def test_bounds_respected(self):
+        result = factorize_cores(
+            32,
+            node=NodeSpec(cores=8, memory_gb=1024),
+            executor_memory_gb=1.0,
+            min_cores_per_executor=2,
+            max_cores_per_executor=4,
+        )
+        assert 2 <= result.cores_per_executor <= 4
+
+    def test_prime_k_falls_back_to_ec1_if_feasible(self):
+        result = factorize_cores(
+            7, node=NodeSpec(cores=8, memory_gb=1024), executor_memory_gb=1.0
+        )
+        assert result.cores_per_executor in (1, 7)
+        assert result.total_cores == 7
+
+    def test_infeasible_raises(self):
+        # executors larger than node memory allows
+        with pytest.raises(ValueError, match="no feasible"):
+            factorize_cores(4, node=NodeSpec(cores=8, memory_gb=8),
+                            executor_memory_gb=28.0)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            factorize_cores(0)
+
+    def test_invalid_min_rejected(self):
+        with pytest.raises(ValueError):
+            factorize_cores(4, min_cores_per_executor=0)
+
+    def test_factorization_total(self):
+        f = Factorization(executors=6, cores_per_executor=4,
+                          stranded_cores_per_node=0)
+        assert f.total_cores == 24

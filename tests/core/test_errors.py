@@ -1,0 +1,86 @@
+"""Unit tests for error metrics and interpolation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import e_metric, interpolate_curve, slowdown
+
+
+class TestEMetric:
+    def test_equation_6(self):
+        actual = {"q1": 100.0, "q2": 50.0}
+        predicted = {"q1": 110.0, "q2": 45.0}
+        assert e_metric(actual, predicted) == pytest.approx(15.0 / 150.0)
+
+    def test_zero_for_perfect(self):
+        actual = {"q1": 10.0}
+        assert e_metric(actual, dict(actual)) == 0.0
+
+    def test_extra_predictions_tolerated(self):
+        actual = {"q1": 10.0}
+        predicted = {"q1": 12.0, "q2": 99.0}
+        assert e_metric(actual, predicted) == pytest.approx(0.2)
+
+    def test_missing_prediction_raises(self):
+        with pytest.raises(KeyError, match="q2"):
+            e_metric({"q1": 1.0, "q2": 2.0}, {"q1": 1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            e_metric({}, {})
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            e_metric({"q1": 0.0}, {"q1": 1.0})
+
+
+class TestInterpolateCurve:
+    def test_passes_through_samples(self):
+        n = [1, 8, 48]
+        t = [100.0, 20.0, 10.0]
+        grid = np.array([1, 8, 48])
+        assert np.allclose(interpolate_curve(n, t, grid), t)
+
+    def test_linear_between_samples(self):
+        curve = interpolate_curve([1, 3], [10.0, 20.0], [2])
+        assert curve[0] == pytest.approx(15.0)
+
+    def test_the_paper_grid_expansion(self):
+        """Section 5.3: expand {1,3,8,16,32,48} samples to all of [1,48]."""
+        n = [1, 3, 8, 16, 32, 48]
+        t = [480.0, 200.0, 90.0, 55.0, 42.0, 40.0]
+        grid = np.arange(1, 49)
+        curve = interpolate_curve(n, t, grid)
+        assert curve.shape == (48,)
+        assert curve[0] == pytest.approx(480.0)
+        assert curve[-1] == pytest.approx(40.0)
+        assert np.all(np.diff(curve) <= 0)  # monotone samples stay monotone
+
+    def test_unsorted_samples_handled(self):
+        curve = interpolate_curve([3, 1], [20.0, 10.0], [2])
+        assert curve[0] == pytest.approx(15.0)
+
+    def test_flat_extension_outside_range(self):
+        curve = interpolate_curve([2, 4], [10.0, 20.0], [1, 5])
+        assert curve[0] == pytest.approx(10.0)
+        assert curve[1] == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interpolate_curve([1, 2], [1.0], [1])
+
+
+class TestSlowdown:
+    def test_on_minimum_is_one(self):
+        assert slowdown(np.array([5.0, 3.0, 4.0]), 1) == pytest.approx(1.0)
+
+    def test_relative_to_minimum(self):
+        assert slowdown(np.array([6.0, 3.0, 4.0]), 0) == pytest.approx(2.0)
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(IndexError):
+            slowdown(np.array([1.0]), 5)
+
+    def test_nonpositive_curve_rejected(self):
+        with pytest.raises(ValueError):
+            slowdown(np.array([0.0, 1.0]), 0)

@@ -1,0 +1,101 @@
+"""Unit tests for Table 2 featurization."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FEATURE_NAMES, QueryFeatures, featurize_plans
+from repro.engine.plan import OPERATOR_KINDS
+from repro.workloads.tpcds import build_query
+
+
+class TestFeatureLayout:
+    def test_nineteen_features(self):
+        """14 operator counts + NumOps, MaxDepth, NumInputs, bytes, rows."""
+        assert len(FEATURE_NAMES) == 19
+
+    def test_paper_figure15_names_present(self):
+        for name in (
+            "TotalInputBytes",
+            "TotalRowsProcessed",
+            "MaxDepth",
+            "NumOps",
+            "NumInputs",
+            "Project",
+            "Filter",
+            "Aggregate",
+            "Sort",
+            "Union",
+        ):
+            assert name in FEATURE_NAMES
+
+    def test_operator_kinds_lead_the_vector(self):
+        assert FEATURE_NAMES[: len(OPERATOR_KINDS)] == tuple(
+            k.value for k in OPERATOR_KINDS
+        )
+
+
+class TestFromPlan:
+    @pytest.fixture(scope="class")
+    def features(self):
+        return QueryFeatures.from_plan(build_query("q11", scale_factor=10))
+
+    def test_vector_shape_and_id(self, features):
+        assert features.values.shape == (19,)
+        assert features.query_id == "q11"
+
+    def test_counts_match_plan(self, features):
+        plan = build_query("q11", scale_factor=10)
+        counts = plan.operator_counts()
+        for kind in OPERATOR_KINDS:
+            assert features[kind.value] == counts[kind]
+
+    def test_aggregates_match_plan(self, features):
+        plan = build_query("q11", scale_factor=10)
+        assert features["NumOps"] == plan.num_operators()
+        assert features["MaxDepth"] == plan.max_depth()
+        assert features["NumInputs"] == len(plan.input_sources())
+        assert features["TotalInputBytes"] == pytest.approx(
+            plan.total_input_bytes()
+        )
+        assert features["TotalRowsProcessed"] == pytest.approx(
+            plan.total_rows_processed()
+        )
+
+    def test_compile_time_only(self, features):
+        """No runtime statistics in the feature list (Section 3.4)."""
+        runtime_words = ("time", "runtime", "executor", "duration", "auc")
+        for name in FEATURE_NAMES:
+            assert not any(w in name.lower() for w in runtime_words)
+
+    def test_getitem_unknown_raises_keyerror(self, features):
+        with pytest.raises(KeyError):
+            features["NoSuchFeature"]
+
+    def test_masked_projection(self, features):
+        subset = features.masked(("TotalInputBytes", "MaxDepth"))
+        assert subset.shape == (2,)
+        assert subset[0] == features["TotalInputBytes"]
+        assert subset[1] == features["MaxDepth"]
+
+
+class TestValidation:
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="19"):
+            QueryFeatures(values=np.zeros(5))
+
+
+class TestFeaturizePlans:
+    def test_stacks_matrix(self):
+        plans = [build_query(q, 10) for q in ("q1", "q2", "q3")]
+        X = featurize_plans(plans)
+        assert X.shape == (3, 19)
+        assert not np.allclose(X[0], X[1])
+
+    def test_scale_factor_moves_only_data_features(self):
+        f10 = QueryFeatures.from_plan(build_query("q20", 10))
+        f100 = QueryFeatures.from_plan(build_query("q20", 100))
+        # structural features identical, data features grow
+        for kind in OPERATOR_KINDS:
+            assert f10[kind.value] == f100[kind.value]
+        assert f100["TotalInputBytes"] > f10["TotalInputBytes"]
+        assert f100["TotalRowsProcessed"] > f10["TotalRowsProcessed"]

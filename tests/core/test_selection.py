@@ -1,0 +1,125 @@
+"""Unit and property tests for configuration selection objectives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ppm import AmdahlPPM, PowerLawPPM
+from repro.core.selection import elbow_point, limited_slowdown, min_time_executors
+
+GRID = np.arange(1, 49)
+
+
+class TestMinTime:
+    def test_picks_smallest_argmin(self):
+        t = np.array([10.0, 5.0, 5.0, 7.0])
+        assert min_time_executors([1, 2, 3, 4], t) == 2
+
+    def test_interior_minimum(self):
+        t = np.array([10.0, 4.0, 6.0, 8.0])
+        assert min_time_executors([1, 2, 3, 4], t) == 2
+
+
+class TestLimitedSlowdown:
+    def test_h1_on_monotone_curve_selects_saturation_point(self):
+        curve = PowerLawPPM(a=-1.0, b=100.0, m=10.0).predict_curve(GRID)
+        assert limited_slowdown(GRID, curve, 1.0) == 10
+
+    def test_h1_on_amdahl_selects_max_n(self):
+        """Paper Section 5.3: AE_AL always selects n=48 at H=1 because it
+        has no saturation."""
+        curve = AmdahlPPM(s=5.0, p=200.0).predict_curve(GRID)
+        assert limited_slowdown(GRID, curve, 1.0) == 48
+
+    def test_larger_h_smaller_n(self):
+        curve = AmdahlPPM(s=5.0, p=200.0).predict_curve(GRID)
+        chosen = [limited_slowdown(GRID, curve, h) for h in (1.0, 1.1, 1.5, 2.0)]
+        assert chosen == sorted(chosen, reverse=True)
+        assert chosen[-1] < chosen[0]
+
+    def test_exact_threshold_arithmetic(self):
+        # t = 10 + 90/n; t_min at n=48 is 11.875; H=2 -> threshold 23.75
+        # -> smallest n with 10 + 90/n <= 23.75 is n = ceil(90/13.75) = 7
+        curve = AmdahlPPM(s=10.0, p=90.0).predict_curve(GRID)
+        assert limited_slowdown(GRID, curve, 2.0) == 7
+
+    def test_h_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            limited_slowdown(GRID, np.ones(48), 0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            limited_slowdown([1], [1.0], 1.0)
+        with pytest.raises(ValueError, match="increasing"):
+            limited_slowdown([2, 1], [1.0, 2.0], 1.0)
+        with pytest.raises(ValueError, match="positive"):
+            limited_slowdown([1, 2], [1.0, 0.0], 1.0)
+
+
+class TestElbowPoint:
+    def test_amdahl_elbow_is_7_on_1_to_48(self):
+        """Closed form: slope(u(n)) = 48/(n(n-1)) crosses 1 between n=7
+        (48/42 >= 1) and n=8 (48/56 <= 1) — the paper observed AE_AL
+        always selecting L=7."""
+        for s, p in [(0.0, 100.0), (5.0, 1.0), (50.0, 1000.0)]:
+            curve = AmdahlPPM(s=s, p=p).predict_curve(GRID)
+            assert elbow_point(GRID, curve) == 7
+
+    def test_power_law_elbows_in_paper_range(self):
+        """Paper Figure 11: AE_PL selected 8, 9, or 10."""
+        for a in (-0.7, -0.9, -1.2):
+            curve = PowerLawPPM(a=a, b=200.0, m=0.0).predict_curve(GRID)
+            assert 5 <= elbow_point(GRID, curve) <= 12
+
+    def test_flat_curve_falls_back_to_min_time(self):
+        assert elbow_point(GRID, np.full(48, 9.0)) == 1
+
+    def test_linear_descent_crosses_at_first_boundary(self):
+        # a straight line has normalized slope exactly 1 everywhere; the
+        # crossover condition (>= 1 then <= 1) fires at the first pair,
+        # i.e. Equation 9 places the elbow at the second grid point
+        curve = np.linspace(100.0, 1.0, 48)
+        assert elbow_point(GRID, curve) == 2
+
+    def test_steep_then_flat_elbow_at_knee(self):
+        # one steep drop then flat: slope 47 then 0 -> elbow right after
+        # the drop, per the definition
+        curve = np.concatenate([[100.0], np.full(47, 99.0)])
+        assert elbow_point(GRID, curve) == 2
+
+    def test_still_steep_at_grid_end_returns_last_point(self):
+        # decreasing curve whose drop accelerates: the normalized slope
+        # ends above 1 with no crossover, so the elbow is the last point
+        curve = 101.0 - 100.0 * ((GRID - 1) / 47.0) ** 4
+        assert elbow_point(GRID, curve) == 48
+
+    def test_independent_of_axis_scales(self):
+        """Normalization makes the elbow invariant to time units."""
+        curve = AmdahlPPM(s=5.0, p=300.0).predict_curve(GRID)
+        assert elbow_point(GRID, curve) == elbow_point(GRID, curve * 1000.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    s=st.floats(min_value=0.0, max_value=50.0),
+    p=st.floats(min_value=1.0, max_value=5000.0),
+    h=st.floats(min_value=1.0, max_value=3.0),
+)
+def test_property_limited_slowdown_honors_threshold(s, p, h):
+    curve = AmdahlPPM(s=s, p=p).predict_curve(GRID)
+    n = limited_slowdown(GRID, curve, h)
+    assert curve[n - 1] <= curve.min() * h + 1e-9
+    if n > 1:  # smallest such n: the previous point violates the threshold
+        assert curve[n - 2] > curve.min() * h - 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.floats(min_value=-2.0, max_value=-0.1),
+    b=st.floats(min_value=10.0, max_value=5000.0),
+    m=st.floats(min_value=0.0, max_value=20.0),
+)
+def test_property_elbow_always_on_grid(a, b, m):
+    curve = PowerLawPPM(a=a, b=b, m=m).predict_curve(GRID)
+    assert 1 <= elbow_point(GRID, curve) <= 48

@@ -1,0 +1,108 @@
+"""Unit tests for the training-data pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.training import (
+    DEFAULT_N_GRID,
+    TRAINING_RUN_EXECUTORS,
+    build_training_dataset,
+    build_training_dataset_from_logs,
+)
+
+
+class TestBuildTrainingDataset:
+    def test_one_row_per_query(self, dataset_small, workload_small):
+        """The parametric approach (Section 3.4): one training data point
+        per query, regardless of how many configurations exist."""
+        assert len(dataset_small.query_ids) == len(workload_small)
+        assert dataset_small.features.shape == (len(workload_small), 19)
+        assert dataset_small.power_law_params.shape == (len(workload_small), 3)
+        assert dataset_small.amdahl_params.shape == (len(workload_small), 2)
+
+    def test_default_grid_is_1_to_48(self):
+        assert DEFAULT_N_GRID[0] == 1 and DEFAULT_N_GRID[-1] == 48
+        assert TRAINING_RUN_EXECUTORS == 16  # Section 5.1's single run
+
+    def test_sparklens_curves_monotone(self, dataset_small):
+        """Section 3.1 reason 3: Sparklens estimates are always monotone
+        non-increasing, which is why they make clean PPM labels."""
+        for curve in dataset_small.sparklens_curves.values():
+            assert np.all(np.diff(curve) <= 1e-9)
+
+    def test_labels_within_valid_regions(self, dataset_small):
+        assert np.all(dataset_small.power_law_params[:, 0] <= 0)  # a
+        assert np.all(dataset_small.power_law_params[:, 1] > 0)  # b
+        assert np.all(dataset_small.power_law_params[:, 2] >= 0)  # m
+        assert np.all(dataset_small.amdahl_params >= 0)  # s, p
+
+    def test_labels_fit_their_curves(self, dataset_small):
+        """Fitted PPMs must approximate the Sparklens curves they came
+        from (Figure 4's premise)."""
+        from repro.core.ppm import AmdahlPPM, PowerLawPPM
+
+        grid = dataset_small.n_grid
+        for i, qid in enumerate(dataset_small.query_ids[:10]):
+            curve = dataset_small.sparklens_curves[qid]
+            al = AmdahlPPM(*dataset_small.amdahl_params[i])
+            err = np.abs(al.predict_curve(grid) - curve).sum() / curve.sum()
+            assert err < 0.25
+
+    def test_fit_time_recorded(self, dataset_small):
+        """Section 5.6 reports ~0.3 ms per training point; ours must at
+        least be sub-10ms and measured."""
+        assert 0 < dataset_small.fit_seconds_per_point < 0.01
+
+    def test_subset_consistency(self, dataset_small):
+        sub = dataset_small.subset([0, 2, 4])
+        assert len(sub.query_ids) == 3
+        assert sub.query_ids[1] == dataset_small.query_ids[2]
+        assert np.allclose(sub.features[1], dataset_small.features[2])
+        assert set(sub.sparklens_curves) == set(sub.query_ids)
+
+    def test_fit_parameter_model_families(self, dataset_small):
+        pl = dataset_small.fit_parameter_model("power_law")
+        al = dataset_small.fit_parameter_model("amdahl")
+        ppm_pl = pl.predict_ppm(dataset_small.features[0])
+        ppm_al = al.predict_ppm(dataset_small.features[0])
+        assert ppm_pl.parameters().shape == (3,)
+        assert ppm_al.parameters().shape == (2,)
+
+    def test_deterministic(self, workload_small, cluster):
+        d1 = build_training_dataset(workload_small, cluster)
+        d2 = build_training_dataset(workload_small, cluster)
+        assert np.allclose(d1.power_law_params, d2.power_law_params)
+        assert np.allclose(d1.features, d2.features)
+
+
+class TestBuildFromLogs:
+    """The Section 4.1 production path: train from past telemetry."""
+
+    def test_matches_simulated_pipeline(self, workload_small, cluster):
+        from repro.engine.allocation import StaticAllocation
+        from repro.engine.scheduler import simulate_query
+
+        plans, logs = [], []
+        for qid in workload_small:
+            plans.append(workload_small.optimized_plan(qid))
+            result = simulate_query(
+                workload_small.stage_graph(qid),
+                StaticAllocation(16),
+                cluster,
+                record_log=True,
+            )
+            logs.append(result.execution_log)
+        from_logs = build_training_dataset_from_logs(plans, logs)
+        from_sim = build_training_dataset(workload_small, cluster)
+        assert from_logs.query_ids == from_sim.query_ids
+        assert np.allclose(from_logs.power_law_params, from_sim.power_law_params)
+        assert np.allclose(from_logs.features, from_sim.features)
+
+    def test_rejects_mismatched_pairs(self, workload_small):
+        plans = [workload_small.optimized_plan("q1")]
+        with pytest.raises(ValueError, match="one-to-one"):
+            build_training_dataset_from_logs(plans, [])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            build_training_dataset_from_logs([], [])

@@ -1,0 +1,149 @@
+"""Unit tests for allocation policies."""
+
+import pytest
+
+from repro.engine.allocation import (
+    AllocationState,
+    DynamicAllocation,
+    PredictiveAllocation,
+    StaticAllocation,
+)
+
+
+def state(
+    time=0.0, pending=0, running=0, active=1, outstanding=0, ec=4
+) -> AllocationState:
+    return AllocationState(
+        time=time,
+        pending_tasks=pending,
+        running_tasks=running,
+        active_executors=active,
+        outstanding=outstanding,
+        cores_per_executor=ec,
+    )
+
+
+class TestStaticAllocation:
+    def test_constant_target(self):
+        pol = StaticAllocation(10)
+        assert pol.initial_executors == 10
+        assert pol.desired_target(state(pending=1000)) == 10
+        assert pol.desired_target(state(time=1e6)) == 10
+
+    def test_never_releases(self):
+        assert StaticAllocation(5).idle_timeout is None
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            StaticAllocation(0)
+
+    def test_repr(self):
+        assert repr(StaticAllocation(48)) == "SA(48)"
+
+
+class TestDynamicAllocation:
+    def test_no_growth_without_backlog(self):
+        pol = DynamicAllocation(1, 48)
+        assert pol.desired_target(state(active=1)) == 1
+
+    def test_backlog_must_be_sustained(self):
+        pol = DynamicAllocation(1, 48, backlog_timeout=1.0)
+        assert pol.desired_target(state(time=0.0, pending=100)) == 1
+        # still within the backlog timeout
+        assert pol.desired_target(state(time=0.5, pending=100)) == 1
+        # past it: first round adds 1
+        assert pol.desired_target(state(time=1.0, pending=100, active=1)) == 2
+
+    def test_exponential_rounds(self):
+        pol = DynamicAllocation(1, 48, backlog_timeout=1.0, sustained_timeout=1.0)
+        pol.desired_target(state(time=0.0, pending=500, active=1))
+        targets = []
+        active = 1
+        for t in (1.0, 2.0, 3.0, 4.0, 5.0):
+            target = pol.desired_target(
+                state(time=t, pending=500, active=active)
+            )
+            targets.append(target)
+            active = target  # grants arrive instantly in this unit test
+        # additions double: +1, +2, +4, +8, +16
+        assert targets == [2, 4, 8, 16, 32]
+
+    def test_capped_at_max(self):
+        pol = DynamicAllocation(1, 10, backlog_timeout=1.0)
+        active = 1
+        for t in range(1, 10):
+            active = pol.desired_target(
+                state(time=float(t), pending=500, active=active)
+            )
+        assert active == 10
+
+    def test_ramp_resets_when_backlog_clears(self):
+        pol = DynamicAllocation(1, 48)
+        pol.desired_target(state(time=0.0, pending=100, active=1))
+        pol.desired_target(state(time=1.0, pending=100, active=1))
+        pol.desired_target(state(time=2.0, pending=100, active=2))
+        # backlog clears: round size resets to 1
+        pol.desired_target(state(time=3.0, pending=0, active=4))
+        t = pol.desired_target(state(time=4.0, pending=50, active=4))
+        t = pol.desired_target(state(time=5.0, pending=50, active=4))
+        assert t == 5  # +1 again, not +8
+
+    def test_target_never_below_min(self):
+        pol = DynamicAllocation(3, 48)
+        assert pol.desired_target(state(active=0)) >= 3
+
+    def test_scale_up_disabled(self):
+        pol = DynamicAllocation(1, 48, scale_up=False)
+        assert pol.desired_target(state(time=10.0, pending=1000, active=1)) == 1
+
+    def test_reset_clears_ramp(self):
+        pol = DynamicAllocation(1, 48)
+        pol.desired_target(state(time=0.0, pending=10, active=1))
+        pol.desired_target(state(time=1.0, pending=10, active=1))
+        pol.reset()
+        assert pol.desired_target(state(time=0.0, pending=10, active=1)) == 1
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicAllocation(5, 2)
+        with pytest.raises(ValueError):
+            DynamicAllocation(backlog_timeout=0.0)
+
+    def test_repr(self):
+        assert repr(DynamicAllocation(1, 48)) == "DA(1,48)"
+
+
+class TestPredictiveAllocation:
+    def test_initial_fleet_before_request(self):
+        pol = PredictiveAllocation(25, initial_executors=5, request_delay=1.0)
+        assert pol.desired_target(state(time=0.5)) == 5
+
+    def test_predicted_count_after_optimizer_delay(self):
+        pol = PredictiveAllocation(25, initial_executors=5, request_delay=1.0)
+        assert pol.desired_target(state(time=1.0)) == 25
+
+    def test_request_sticks_even_when_idle(self):
+        pol = PredictiveAllocation(25, initial_executors=5, request_delay=1.0)
+        pol.desired_target(state(time=2.0))
+        assert pol.desired_target(state(time=50.0, pending=0)) == 25
+
+    def test_no_reactive_scale_up_beyond_prediction(self):
+        pol = PredictiveAllocation(10, request_delay=0.0)
+        assert pol.desired_target(state(time=5.0, pending=10_000)) == 10
+
+    def test_reset(self):
+        pol = PredictiveAllocation(25, initial_executors=5, request_delay=1.0)
+        pol.desired_target(state(time=2.0))
+        pol.reset()
+        assert pol.desired_target(state(time=0.0)) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PredictiveAllocation(0)
+        with pytest.raises(ValueError):
+            PredictiveAllocation(5, initial_executors=-1)
+        with pytest.raises(ValueError):
+            PredictiveAllocation(5, request_delay=-0.1)
+
+    def test_repr(self):
+        assert repr(PredictiveAllocation(25)) == "Rule(25)"

@@ -1,0 +1,49 @@
+"""Unit tests for query telemetry records."""
+
+import pytest
+
+from repro.engine.metrics import QueryTelemetry
+from repro.engine.plan import InputSource, LogicalPlan, OperatorKind, PlanNode
+from repro.engine.skyline import Skyline
+
+
+def tiny_plan() -> LogicalPlan:
+    return LogicalPlan(
+        root=PlanNode(
+            kind=OperatorKind.SCAN, source=InputSource("t", 1e6, 1e3)
+        ),
+        query_id="q1",
+    )
+
+
+class TestQueryTelemetry:
+    def test_roundtrip_fields(self):
+        sky = Skyline()
+        sky.record(0.0, 4)
+        row = QueryTelemetry(
+            query_id="q1",
+            plan=tiny_plan(),
+            runtime=12.5,
+            executors_requested=4,
+            max_executors=4,
+            auc=50.0,
+            skyline=sky,
+            annotations={"policy": "SA(4)"},
+        )
+        assert row.query_id == "q1"
+        assert row.annotations["policy"] == "SA(4)"
+        assert row.cores_per_executor == 4
+
+    def test_rejects_negative_runtime(self):
+        with pytest.raises(ValueError):
+            QueryTelemetry(
+                query_id="q1", plan=tiny_plan(), runtime=-1.0,
+                executors_requested=1, max_executors=1, auc=0.0,
+            )
+
+    def test_rejects_negative_auc(self):
+        with pytest.raises(ValueError):
+            QueryTelemetry(
+                query_id="q1", plan=tiny_plan(), runtime=1.0,
+                executors_requested=1, max_executors=1, auc=-5.0,
+            )

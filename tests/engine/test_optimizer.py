@@ -1,0 +1,198 @@
+"""Unit tests for the rule-based optimizer and its extension point."""
+
+import pytest
+
+from repro.engine.optimizer import Optimizer, OptimizerContext
+from repro.engine.plan import InputSource, LogicalPlan, OperatorKind, PlanNode
+
+
+def scan(rows=1e6, nbytes=1e9) -> PlanNode:
+    return PlanNode(
+        kind=OperatorKind.SCAN, source=InputSource("t", nbytes, rows)
+    )
+
+
+def count(plan: LogicalPlan, kind: OperatorKind) -> int:
+    return plan.operator_counts()[kind]
+
+
+class TestRewriteRules:
+    def test_noop_filter_removed(self):
+        node = PlanNode(
+            kind=OperatorKind.FILTER,
+            children=[scan()],
+            selectivity=1.0,
+            rows_out=1e6,
+        )
+        plan = LogicalPlan(root=PlanNode(
+            kind=OperatorKind.AGGREGATE, children=[node], rows_out=10
+        ))
+        out = Optimizer().optimize(plan).plan
+        assert count(out, OperatorKind.FILTER) == 0
+
+    def test_selective_filter_kept_unless_pushable(self):
+        node = PlanNode(
+            kind=OperatorKind.FILTER,
+            children=[PlanNode(kind=OperatorKind.EXPAND, children=[scan()], rows_out=2e6)],
+            selectivity=0.1,
+            pushable=False,
+            rows_out=2e5,
+        )
+        plan = LogicalPlan(root=PlanNode(
+            kind=OperatorKind.AGGREGATE, children=[node], rows_out=10
+        ))
+        out = Optimizer().optimize(plan).plan
+        assert count(out, OperatorKind.FILTER) == 1
+
+    def test_pushable_filter_folds_into_scan(self):
+        node = PlanNode(
+            kind=OperatorKind.FILTER,
+            children=[scan(rows=1e6)],
+            selectivity=0.25,
+            pushable=True,
+            rows_out=2.5e5,
+        )
+        plan = LogicalPlan(root=PlanNode(
+            kind=OperatorKind.AGGREGATE, children=[node], rows_out=10
+        ))
+        out = Optimizer().optimize(plan).plan
+        assert count(out, OperatorKind.FILTER) == 0
+        scans = [n for n in out.walk() if n.kind == OperatorKind.SCAN]
+        assert scans[0].rows_out == pytest.approx(2.5e5)
+
+    def test_adjacent_projects_collapse(self):
+        inner = PlanNode(
+            kind=OperatorKind.PROJECT, children=[scan()], columns_kept=0.5,
+            rows_out=1e6,
+        )
+        outer = PlanNode(
+            kind=OperatorKind.PROJECT, children=[inner], columns_kept=0.5,
+            rows_out=1e6,
+        )
+        plan = LogicalPlan(root=PlanNode(
+            kind=OperatorKind.AGGREGATE, children=[outer], rows_out=1
+        ))
+        out = Optimizer().optimize(plan).plan
+        assert count(out, OperatorKind.PROJECT) == 1
+
+    def test_project_prunes_scan_bytes(self):
+        proj = PlanNode(
+            kind=OperatorKind.PROJECT,
+            children=[scan(nbytes=8e9)],
+            columns_kept=0.25,
+            rows_out=1e6,
+        )
+        plan = LogicalPlan(root=PlanNode(
+            kind=OperatorKind.AGGREGATE, children=[proj], rows_out=1
+        ))
+        out = Optimizer().optimize(plan).plan
+        assert out.total_input_bytes() == pytest.approx(2e9)
+
+    def test_nested_unions_flatten(self):
+        inner = PlanNode(
+            kind=OperatorKind.UNION, children=[scan(), scan()], rows_out=2e6
+        )
+        outer = PlanNode(
+            kind=OperatorKind.UNION, children=[inner, scan()], rows_out=3e6
+        )
+        plan = LogicalPlan(root=PlanNode(
+            kind=OperatorKind.AGGREGATE, children=[outer], rows_out=1
+        ))
+        out = Optimizer().optimize(plan).plan
+        assert count(out, OperatorKind.UNION) == 1
+        union = [n for n in out.walk() if n.kind == OperatorKind.UNION][0]
+        assert len(union.children) == 3
+
+    def test_input_plan_not_mutated(self):
+        node = PlanNode(
+            kind=OperatorKind.FILTER, children=[scan()], selectivity=1.0,
+            rows_out=1e6,
+        )
+        plan = LogicalPlan(root=PlanNode(
+            kind=OperatorKind.AGGREGATE, children=[node], rows_out=1
+        ))
+        Optimizer().optimize(plan)
+        assert count(plan, OperatorKind.FILTER) == 1
+
+    def test_reaches_fixpoint_with_stacked_rewrites(self):
+        # project over project over pushable filter over scan: several
+        # rules must fire across iterations.
+        node = scan(rows=1e6, nbytes=4e9)
+        node = PlanNode(
+            kind=OperatorKind.FILTER, children=[node], selectivity=0.5,
+            pushable=True, rows_out=5e5,
+        )
+        node = PlanNode(
+            kind=OperatorKind.PROJECT, children=[node], columns_kept=0.5,
+            rows_out=5e5,
+        )
+        node = PlanNode(
+            kind=OperatorKind.PROJECT, children=[node], columns_kept=0.5,
+            rows_out=5e5,
+        )
+        plan = LogicalPlan(root=PlanNode(
+            kind=OperatorKind.AGGREGATE, children=[node], rows_out=1
+        ))
+        out = Optimizer().optimize(plan).plan
+        assert count(out, OperatorKind.FILTER) == 0
+        assert count(out, OperatorKind.PROJECT) == 1
+        assert out.total_input_bytes() == pytest.approx(1e9)
+
+
+class TestExtensionPoint:
+    def test_extension_rule_sees_optimized_plan(self):
+        seen = {}
+
+        class Probe:
+            def apply(self, context: OptimizerContext) -> None:
+                seen["filters"] = context.plan.operator_counts()[
+                    OperatorKind.FILTER
+                ]
+
+        node = PlanNode(
+            kind=OperatorKind.FILTER, children=[scan()], selectivity=1.0,
+            rows_out=1e6,
+        )
+        plan = LogicalPlan(root=PlanNode(
+            kind=OperatorKind.AGGREGATE, children=[node], rows_out=1
+        ))
+        opt = Optimizer()
+        opt.inject_rule(Probe())
+        opt.optimize(plan)
+        assert seen["filters"] == 0  # rewrites ran first
+
+    def test_resource_request_recorded(self):
+        class Requester:
+            def apply(self, context: OptimizerContext) -> None:
+                context.request_executors(17)
+
+        opt = Optimizer(extension_rules=[Requester()])
+        plan = LogicalPlan(root=PlanNode(
+            kind=OperatorKind.AGGREGATE, children=[scan()], rows_out=1
+        ))
+        context = opt.optimize(plan)
+        assert context.requested_executors == 17
+
+    def test_request_validates_count(self):
+        context = OptimizerContext(plan=LogicalPlan(root=scan()))
+        with pytest.raises(ValueError):
+            context.request_executors(0)
+
+    def test_rules_run_in_order(self):
+        order = []
+
+        class R:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def apply(self, context):
+                order.append(self.tag)
+
+        opt = Optimizer(extension_rules=[R("a"), R("b")])
+        opt.inject_rule(R("c"))
+        opt.optimize(LogicalPlan(root=scan()))
+        assert order == ["a", "b", "c"]
+
+    def test_max_iterations_validated(self):
+        with pytest.raises(ValueError):
+            Optimizer(max_iterations=0)

@@ -1,0 +1,143 @@
+"""Unit tests for the logical plan IR."""
+
+import pytest
+
+from repro.engine.plan import (
+    OPERATOR_KINDS,
+    InputSource,
+    LogicalPlan,
+    OperatorKind,
+    PlanNode,
+)
+
+
+def scan(name="t", nbytes=1e9, rows=1e6) -> PlanNode:
+    return PlanNode(
+        kind=OperatorKind.SCAN,
+        source=InputSource(name=name, bytes=nbytes, rows=rows),
+    )
+
+
+def simple_plan() -> LogicalPlan:
+    s1, s2 = scan("a", 1e9, 1e6), scan("b", 2e9, 2e6)
+    join = PlanNode(kind=OperatorKind.JOIN, children=[s1, s2], rows_out=5e5)
+    agg = PlanNode(kind=OperatorKind.AGGREGATE, children=[join], rows_out=100)
+    return LogicalPlan(root=agg, query_id="q_test")
+
+
+class TestOperatorTaxonomy:
+    def test_exactly_fourteen_kinds(self):
+        """The paper's Table 2: 14 operators for TPC-DS."""
+        assert len(OPERATOR_KINDS) == 14
+
+    def test_kind_values_unique(self):
+        assert len({k.value for k in OPERATOR_KINDS}) == 14
+
+
+class TestPlanNode:
+    def test_scan_requires_source(self):
+        with pytest.raises(ValueError, match="input source"):
+            PlanNode(kind=OperatorKind.SCAN)
+
+    def test_scan_cannot_have_children(self):
+        with pytest.raises(ValueError, match="children"):
+            PlanNode(
+                kind=OperatorKind.SCAN,
+                source=InputSource("t", 1, 1),
+                children=[scan()],
+            )
+
+    def test_non_scan_cannot_carry_source(self):
+        with pytest.raises(ValueError, match="scan nodes"):
+            PlanNode(
+                kind=OperatorKind.FILTER,
+                children=[scan()],
+                source=InputSource("t", 1, 1),
+            )
+
+    def test_scan_rows_out_defaults_to_source_rows(self):
+        node = scan(rows=123.0)
+        assert node.rows_out == 123.0
+
+    def test_selectivity_bounds(self):
+        with pytest.raises(ValueError, match="selectivity"):
+            PlanNode(kind=OperatorKind.FILTER, children=[scan()], selectivity=1.5)
+
+    def test_columns_kept_bounds(self):
+        with pytest.raises(ValueError, match="columns_kept"):
+            PlanNode(kind=OperatorKind.PROJECT, children=[scan()], columns_kept=0.0)
+
+    def test_rows_processed_for_scan_is_source_rows(self):
+        assert scan(rows=42.0).rows_processed == 42.0
+
+    def test_rows_processed_for_inner_node_is_input_rows(self):
+        s1, s2 = scan(rows=10), scan(rows=20)
+        join = PlanNode(kind=OperatorKind.JOIN, children=[s1, s2], rows_out=5)
+        assert join.rows_processed == 30
+
+    def test_copy_is_deep(self):
+        plan = simple_plan()
+        clone = plan.copy()
+        clone.root.children[0].rows_out = -0.0
+        assert plan.root.children[0].rows_out == 5e5
+
+
+class TestInputSource:
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ValueError):
+            InputSource("t", bytes=-1, rows=0)
+
+    def test_frozen(self):
+        src = InputSource("t", 1, 1)
+        with pytest.raises(AttributeError):
+            src.bytes = 2
+
+
+class TestLogicalPlan:
+    def test_operator_counts_cover_all_kinds(self):
+        counts = simple_plan().operator_counts()
+        assert set(counts) == set(OPERATOR_KINDS)
+        assert counts[OperatorKind.SCAN] == 2
+        assert counts[OperatorKind.JOIN] == 1
+        assert counts[OperatorKind.AGGREGATE] == 1
+        assert counts[OperatorKind.SORT] == 0
+
+    def test_num_operators(self):
+        assert simple_plan().num_operators() == 4
+
+    def test_max_depth(self):
+        assert simple_plan().max_depth() == 3
+
+    def test_input_sources_and_totals(self):
+        plan = simple_plan()
+        assert [s.name for s in plan.input_sources()] == ["a", "b"]
+        assert plan.total_input_bytes() == pytest.approx(3e9)
+
+    def test_total_rows_processed_sums_all_operators(self):
+        plan = simple_plan()
+        # scans 1e6+2e6, join inputs 3e6, aggregate input 5e5
+        assert plan.total_rows_processed() == pytest.approx(6.5e6)
+
+    def test_validate_accepts_well_formed(self):
+        simple_plan().validate()
+
+    def test_validate_rejects_non_scan_leaf(self):
+        bad = PlanNode(kind=OperatorKind.SCAN, source=InputSource("t", 1, 1))
+        object.__setattr__(bad, "kind", OperatorKind.FILTER)
+        plan = LogicalPlan(root=bad)
+        with pytest.raises(ValueError, match="not a scan"):
+            plan.validate()
+
+    def test_validate_rejects_shared_subtree(self):
+        shared = scan()
+        join = PlanNode(
+            kind=OperatorKind.JOIN, children=[shared, shared], rows_out=1
+        )
+        with pytest.raises(ValueError, match="shared"):
+            LogicalPlan(root=join).validate()
+
+    def test_walk_is_preorder(self):
+        plan = simple_plan()
+        kinds = [n.kind for n in plan.walk()]
+        assert kinds[0] == OperatorKind.AGGREGATE
+        assert kinds[1] == OperatorKind.JOIN

@@ -1,0 +1,97 @@
+"""Unit tests for multi-query Spark applications (Figure 7 behaviour)."""
+
+import pytest
+
+from repro.core.autoexecutor import AutoExecutorRule
+from repro.core.ppm import AmdahlPPM
+from repro.engine.cluster import Cluster
+from repro.engine.optimizer import Optimizer
+from repro.engine.session import SparkApplication
+from repro.workloads.tpcds import build_query
+
+
+class _FixedScorer:
+    """Stand-in model: the same Amdahl PPM for every query."""
+
+    def __init__(self, s=10.0, p=400.0):
+        self.ppm = AmdahlPPM(s=s, p=p)
+
+    def predict_ppm(self, features):
+        return self.ppm
+
+
+@pytest.fixture()
+def app():
+    return SparkApplication(cluster=Cluster(), default_executors=2)
+
+
+@pytest.fixture()
+def predictive_app():
+    optimizer = Optimizer()
+    optimizer.inject_rule(AutoExecutorRule(model_loader=_FixedScorer))
+    return SparkApplication(
+        cluster=Cluster(), optimizer=optimizer, default_executors=2,
+        idle_timeout=30.0,
+    )
+
+
+class TestStaticApplication:
+    def test_runs_query_and_records_telemetry(self, app):
+        plan = build_query("q3", scale_factor=1)
+        row = app.run_query(plan)
+        assert row.query_id == "q3"
+        assert row.runtime > 0
+        assert row.executors_requested == 2
+        assert len(app.telemetry) == 1
+
+    def test_clock_advances_by_runtime(self, app):
+        plan = build_query("q3", scale_factor=1)
+        row = app.run_query(plan)
+        assert app.clock == pytest.approx(row.runtime)
+
+    def test_idle_advances_clock(self, app):
+        app.idle(10.0)
+        assert app.clock == 10.0
+
+    def test_idle_rejects_negative(self, app):
+        with pytest.raises(ValueError):
+            app.idle(-1.0)
+
+
+class TestPredictiveApplication:
+    def test_rule_request_drives_allocation(self, predictive_app):
+        plan = build_query("q7", scale_factor=1)
+        row = predictive_app.run_query(plan)
+        assert row.annotations["autoexecutor.executors"] == row.executors_requested
+        assert row.executors_requested >= 1
+
+    def test_two_query_session_with_idle_gap(self, predictive_app):
+        """The Figure 7 scenario: predict, run, idle-release, predict again."""
+        q1 = build_query("q7", scale_factor=1)
+        q2 = build_query("q19", scale_factor=1)
+        predictive_app.run_query(q1)
+        fleet_after_q1 = predictive_app.skyline.value_at(predictive_app.clock)
+        predictive_app.idle(60.0)  # longer than the 30 s idle timeout
+        fleet_after_idle = predictive_app.skyline.value_at(
+            predictive_app.clock - 1.0
+        )
+        assert fleet_after_idle <= fleet_after_q1
+        assert fleet_after_idle == 1
+        predictive_app.run_query(q2)
+        assert len(predictive_app.telemetry) == 2
+
+    def test_short_gap_keeps_fleet(self, predictive_app):
+        q1 = build_query("q7", scale_factor=1)
+        predictive_app.run_query(q1)
+        before = predictive_app.skyline.value_at(predictive_app.clock)
+        predictive_app.idle(5.0)  # below the idle timeout
+        after = predictive_app.skyline.value_at(predictive_app.clock)
+        assert after == before
+
+    def test_total_occupancy_accumulates(self, predictive_app):
+        q1 = build_query("q7", scale_factor=1)
+        predictive_app.run_query(q1)
+        occ1 = predictive_app.total_occupancy()
+        predictive_app.idle(10.0)
+        occ2 = predictive_app.total_occupancy()
+        assert occ2 > occ1  # idle fleet still occupies executors

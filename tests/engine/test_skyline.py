@@ -1,0 +1,108 @@
+"""Unit tests for executor skylines and AUC."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.skyline import Skyline
+
+
+class TestRecord:
+    def test_collapses_equal_counts(self):
+        s = Skyline()
+        s.record(0.0, 5)
+        s.record(1.0, 5)
+        assert s.points == [(0.0, 5)]
+
+    def test_same_time_overwrites(self):
+        s = Skyline()
+        s.record(0.0, 5)
+        s.record(0.0, 7)
+        assert s.points == [(0.0, 7)]
+
+    def test_rejects_time_regression(self):
+        s = Skyline()
+        s.record(2.0, 1)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            s.record(1.0, 2)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            Skyline().record(0.0, -1)
+
+
+class TestQueries:
+    def make(self):
+        s = Skyline()
+        s.record(0.0, 2)
+        s.record(10.0, 6)
+        s.record(20.0, 1)
+        return s
+
+    def test_value_at(self):
+        s = self.make()
+        assert s.value_at(-1.0) == 0
+        assert s.value_at(0.0) == 2
+        assert s.value_at(9.99) == 2
+        assert s.value_at(10.0) == 6
+        assert s.value_at(100.0) == 1
+
+    def test_max_executors(self):
+        assert self.make().max_executors == 6
+        assert Skyline().max_executors == 0
+
+    def test_auc_rectangle_sum(self):
+        s = self.make()
+        # 2*10 + 6*10 + 1*10 = 90 over [0, 30]
+        assert s.auc(30.0) == pytest.approx(90.0)
+
+    def test_auc_truncates_mid_step(self):
+        s = self.make()
+        assert s.auc(15.0) == pytest.approx(2 * 10 + 6 * 5)
+
+    def test_auc_empty_skyline_zero(self):
+        assert Skyline().auc(100.0) == 0.0
+
+    def test_auc_rejects_negative_end(self):
+        with pytest.raises(ValueError):
+            Skyline().auc(-1.0)
+
+    def test_truncated_copy(self):
+        s = self.make()
+        t = s.truncated(15.0)
+        assert t.points == [(0.0, 2), (10.0, 6)]
+        # original untouched
+        assert len(s.points) == 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),
+            st.integers(min_value=0, max_value=48),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_property_auc_bounded_by_peak_times_duration(steps):
+    steps = sorted(steps, key=lambda p: p[0])
+    s = Skyline()
+    for t, c in steps:
+        s.record(t, c)
+    end = 120.0
+    auc = s.auc(end)
+    assert 0.0 <= auc <= s.max_executors * end + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=10),
+    st.floats(min_value=1.0, max_value=50.0),
+)
+def test_property_auc_monotone_in_end_time(counts, end):
+    s = Skyline()
+    for i, c in enumerate(counts):
+        s.record(float(i), c)
+    assert s.auc(end) <= s.auc(end + 5.0) + 1e-9

@@ -1,0 +1,64 @@
+"""Unit tests for the figure/table renderers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    cdf_percentiles,
+    render_cdf,
+    render_series_table,
+    sparkline,
+)
+
+
+class TestSeriesTable:
+    def test_renders_aligned_rows(self):
+        table = render_series_table(
+            "n", [1, 3, 8], {"S": np.array([1.0, 2.0, 3.0])}
+        )
+        lines = table.splitlines()
+        assert "S" in lines[0]
+        assert len(lines) == 5  # header, rule, 3 rows
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            render_series_table("n", [1, 2], {"S": np.array([1.0])})
+
+    def test_multiple_series_columns(self):
+        table = render_series_table(
+            "n",
+            [1],
+            {"A": np.array([1.0]), "B": np.array([2.0])},
+        )
+        assert "A" in table and "B" in table
+
+
+class TestCdf:
+    def test_percentiles(self):
+        pct = cdf_percentiles(np.arange(101))
+        assert pct[50] == pytest.approx(50.0)
+        assert pct[90] == pytest.approx(90.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_percentiles([])
+
+    def test_render_contains_count(self):
+        text = render_cdf("queries", [1, 2, 3])
+        assert "n=3" in text
+        assert "p50" in text
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1.0, 2.0, 3.0])) == 3
+
+    def test_flat_series_uses_lowest_glyph(self):
+        assert sparkline([5.0, 5.0]) == "▁▁"
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline(np.linspace(0, 1, 8))
+        assert line == "".join(sorted(line))
+
+    def test_empty_gives_empty(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,36 @@
+"""Unit tests for the caching experiment context."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import ExperimentContext, full_protocol
+
+
+class TestExperimentContext:
+    def test_workload_cached_per_scale_factor(self):
+        ctx = ExperimentContext()
+        assert ctx.workload(5) is ctx.workload(5)
+        assert ctx.workload(5) is not ctx.workload(10)
+
+    def test_protocol_sizes_reduced_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_PROTOCOL", raising=False)
+        ctx = ExperimentContext()
+        assert not full_protocol()
+        assert ctx.cv_repeats == 3
+        assert ctx.runtime_repeats == 3
+
+    def test_full_protocol_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_PROTOCOL", "1")
+        ctx = ExperimentContext()
+        assert full_protocol()
+        assert ctx.cv_repeats == 10
+        assert ctx.runtime_repeats == 5
+
+    def test_grid_is_papers(self):
+        ctx = ExperimentContext()
+        assert ctx.n_grid[0] == 1 and ctx.n_grid[-1] == 48
+
+    def test_cluster_is_papers_testbed(self):
+        ctx = ExperimentContext()
+        assert ctx.cluster.cores_per_executor == 4
+        assert ctx.cluster.executors_per_node == 2

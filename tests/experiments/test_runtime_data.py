@@ -1,0 +1,111 @@
+"""Unit tests for ground-truth collection (the Section 5.1 protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runtime_data import (
+    EVALUATION_N_VALUES,
+    collect_actual_runtimes,
+    discard_outliers,
+    noise_sigma,
+)
+
+
+class TestNoiseModel:
+    def test_paper_bounds(self):
+        """Run variation: 4.2% at n=1 growing to 6.9% at n=48."""
+        assert noise_sigma(1) == pytest.approx(0.042)
+        assert noise_sigma(48) == pytest.approx(0.069)
+
+    def test_monotone_in_n(self):
+        sigmas = [noise_sigma(n) for n in (1, 3, 8, 16, 32, 48)]
+        assert sigmas == sorted(sigmas)
+
+    def test_clamped_outside_range(self):
+        assert noise_sigma(0) == noise_sigma(1)
+        assert noise_sigma(100) == noise_sigma(48)
+
+
+class TestOutlierDiscard:
+    def test_keeps_clean_samples(self):
+        samples = np.array([10.0, 10.5, 9.8, 10.2, 9.9])
+        assert discard_outliers(samples).size == 5
+
+    def test_drops_iqr_outlier(self):
+        samples = np.array([10.0, 10.1, 9.9, 10.05, 50.0])
+        kept = discard_outliers(samples)
+        assert 50.0 not in kept
+        assert kept.size == 4
+
+    def test_small_samples_untouched(self):
+        samples = np.array([1.0, 100.0])
+        assert discard_outliers(samples).size == 2
+
+    def test_never_returns_empty(self):
+        samples = np.full(6, 5.0)
+        assert discard_outliers(samples).size > 0
+
+
+class TestCollect:
+    def test_evaluation_grid_is_papers(self):
+        assert EVALUATION_N_VALUES == (1, 3, 8, 16, 32, 48)
+
+    def test_shapes(self, actuals_small, workload_small):
+        n_q = len(workload_small)
+        assert actuals_small.times.shape == (n_q, 6)
+        assert actuals_small.aucs.shape == (n_q, 6)
+        assert len(actuals_small.query_ids) == n_q
+
+    def test_times_positive_and_finite(self, actuals_small):
+        assert np.all(actuals_small.times > 0)
+        assert np.all(np.isfinite(actuals_small.times))
+
+    def test_noise_within_plausible_band(self, actuals_small, workload_small, cluster):
+        """Averaged noisy times must stay near the deterministic runtime."""
+        from repro.engine.allocation import StaticAllocation
+        from repro.engine.scheduler import simulate_query
+
+        qid = actuals_small.query_ids[0]
+        graph = workload_small.stage_graph(qid)
+        det = simulate_query(graph, StaticAllocation(16), cluster).runtime
+        observed = actuals_small.times_by_query(16)[qid]
+        assert abs(observed - det) / det < 0.25
+
+    def test_deterministic_given_seed(self, workload_small, cluster):
+        a = collect_actual_runtimes(workload_small, cluster, repeats=2, seed=7)
+        b = collect_actual_runtimes(workload_small, cluster, repeats=2, seed=7)
+        assert np.allclose(a.times, b.times)
+
+    def test_seed_changes_noise(self, workload_small, cluster):
+        a = collect_actual_runtimes(workload_small, cluster, repeats=2, seed=1)
+        b = collect_actual_runtimes(workload_small, cluster, repeats=2, seed=2)
+        assert not np.allclose(a.times, b.times)
+
+    def test_curve_interpolation(self, actuals_small):
+        qid = actuals_small.query_ids[0]
+        grid = np.arange(1, 49)
+        curve = actuals_small.curve(qid, grid)
+        assert curve.shape == (48,)
+        row = actuals_small.row(qid)
+        assert curve[0] == pytest.approx(row[0])
+        assert curve[-1] == pytest.approx(row[-1])
+
+    def test_times_by_query_mapping(self, actuals_small):
+        mapping = actuals_small.times_by_query(8)
+        assert set(mapping) == set(actuals_small.query_ids)
+
+    def test_optimal_executors_in_range(self, actuals_small):
+        for qid in actuals_small.query_ids:
+            assert 1 <= actuals_small.optimal_executors(qid) <= 48
+
+    def test_rejects_zero_repeats(self, workload_small, cluster):
+        with pytest.raises(ValueError):
+            collect_actual_runtimes(workload_small, cluster, repeats=0)
+
+    def test_mostly_decreasing_runtime_in_n(self, actuals_small):
+        """The price-performance premise: more executors, faster (up to
+        noise and coordination overhead at the tail)."""
+        t = actuals_small.times
+        # n=1 is never meaningfully faster than n=16 (tiny driver-bound
+        # queries at SF=5 can tie within noise)
+        assert np.mean(t[:, 0] >= t[:, 3] * 0.95) > 0.9

@@ -1,0 +1,114 @@
+"""Unit tests for the portable model runtime (the ONNX-runtime stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ppm import AmdahlPPM, PowerLawPPM
+from repro.export.format import save_model_file
+from repro.export.runtime import PortableModelRuntime, PortablePPMScorer
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.linear import LinearRegression
+
+
+@pytest.fixture(scope="module")
+def registry(tmp_path_factory):
+    root = tmp_path_factory.mktemp("registry")
+    rng = np.random.default_rng(0)
+    X = rng.random((60, 19))
+    Y_al = np.abs(rng.random((60, 2))) + 0.1
+    forest = RandomForestRegressor(n_estimators=6, random_state=0).fit(X, Y_al)
+    save_model_file(forest, root / "ae_al.json", metadata={"family": "amdahl"})
+    linear = LinearRegression().fit(X, Y_al)
+    save_model_file(linear, root / "lin.json", metadata={"family": "amdahl"})
+    forest_nofam = RandomForestRegressor(n_estimators=2, random_state=0).fit(
+        X, Y_al
+    )
+    save_model_file(forest_nofam, root / "nofam.json")
+    return root, forest, X
+
+
+class TestRuntime:
+    def test_predictions_match_training_library(self, registry):
+        """The runtime's independent tree-walker must agree exactly with
+        the training-side forest — the ONNX fidelity requirement."""
+        root, forest, X = registry
+        runtime = PortableModelRuntime(root)
+        out = runtime.predict("ae_al", X)
+        assert np.allclose(out, forest.predict(X), atol=1e-12)
+
+    def test_single_row_prediction(self, registry):
+        root, forest, X = registry
+        runtime = PortableModelRuntime(root)
+        assert np.allclose(
+            runtime.predict("ae_al", X[0]), forest.predict(X[:1])[0]
+        )
+
+    def test_linear_model_scoring(self, registry):
+        root, _, X = registry
+        runtime = PortableModelRuntime(root)
+        out = runtime.predict("lin", X[:5])
+        assert out.shape == (5, 2)
+
+    def test_model_cached_after_first_load(self, registry):
+        root, _, X = registry
+        runtime = PortableModelRuntime(root)
+        assert not runtime.is_cached("ae_al")
+        runtime.predict("ae_al", X[:1])
+        assert runtime.is_cached("ae_al")
+        loads_before = len(runtime.timings["load"])
+        runtime.predict("ae_al", X[:1])
+        assert len(runtime.timings["load"]) == loads_before  # no reload
+
+    def test_timings_recorded(self, registry):
+        root, _, X = registry
+        runtime = PortableModelRuntime(root)
+        runtime.predict("ae_al", X[:1])
+        runtime.predict("ae_al", X[:1])
+        assert len(runtime.timings["load"]) == 1
+        assert len(runtime.timings["setup"]) == 1
+        assert len(runtime.timings["inference"]) == 2
+        assert runtime.mean_timing("inference") > 0
+
+    def test_mean_timing_empty_phase_zero(self, registry):
+        runtime = PortableModelRuntime(registry[0])
+        assert runtime.mean_timing("load") == 0.0
+
+    def test_missing_model_raises(self, registry):
+        runtime = PortableModelRuntime(registry[0])
+        with pytest.raises(FileNotFoundError):
+            runtime.load("does_not_exist")
+
+    def test_wrong_feature_width_rejected(self, registry):
+        root, _, _ = registry
+        runtime = PortableModelRuntime(root)
+        with pytest.raises(ValueError, match="expects"):
+            runtime.predict("ae_al", np.zeros((1, 3)))
+
+
+class TestPPMScorer:
+    def test_scores_to_valid_ppm(self, registry):
+        root, _, X = registry
+        scorer = PortablePPMScorer(PortableModelRuntime(root), "ae_al")
+        ppm = scorer.predict_ppm(X[0])
+        assert isinstance(ppm, AmdahlPPM)
+        assert ppm.s >= 0 and ppm.p >= 0
+
+    def test_missing_family_metadata_rejected(self, registry):
+        root, _, X = registry
+        scorer = PortablePPMScorer(PortableModelRuntime(root), "nofam")
+        with pytest.raises(ValueError, match="family"):
+            scorer.predict_ppm(X[0])
+
+    def test_integrates_with_autoexecutor_rule(self, registry):
+        from repro.core.autoexecutor import AutoExecutorRule
+        from repro.engine.optimizer import Optimizer
+        from repro.workloads.tpcds import build_query
+
+        root, _, _ = registry
+        runtime = PortableModelRuntime(root)
+        rule = AutoExecutorRule(
+            model_loader=lambda: PortablePPMScorer(runtime, "ae_al")
+        )
+        opt = Optimizer(extension_rules=[rule])
+        context = opt.optimize(build_query("q55", scale_factor=1))
+        assert context.requested_executors is not None

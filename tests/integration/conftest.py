@@ -1,0 +1,38 @@
+"""Integration fixtures: the full 103-query workload at SF=100.
+
+The paper's qualitative error shapes (Figure 9's n=1 peak, the mid-range
+dip) only emerge with the full query diversity, so integration runs the
+complete workload with a reduced (1-repeat) cross-validation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.training import build_training_dataset
+from repro.engine.cluster import Cluster
+from repro.experiments.crossval import run_cross_validation
+from repro.experiments.runtime_data import collect_actual_runtimes
+from repro.workloads.generator import Workload
+
+
+@pytest.fixture(scope="session")
+def workload_mid():
+    return Workload(scale_factor=100)
+
+
+@pytest.fixture(scope="session")
+def dataset_mid(workload_mid, cluster):
+    return build_training_dataset(workload_mid, cluster)
+
+
+@pytest.fixture(scope="session")
+def actuals_mid(workload_mid, cluster):
+    return collect_actual_runtimes(workload_mid, cluster, repeats=3, seed=0)
+
+
+@pytest.fixture(scope="session")
+def cv_mid(dataset_mid, actuals_mid):
+    return run_cross_validation(
+        dataset_mid, actuals_mid, n_repeats=1, n_splits=5, seed=0
+    )

@@ -1,0 +1,173 @@
+"""Paper-shape assertions: the qualitative claims of Section 5.
+
+Each test pins one qualitative result from the paper's evaluation; the
+benches print the full quantitative series.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import elbow_point, limited_slowdown
+from repro.core.ppm import fit_amdahl, fit_power_law
+
+
+GRID = np.arange(1, 49)
+
+
+class TestFig4FitQuality:
+    """AE_AL fits Sparklens better at small n; AE_PL at large n."""
+
+    def test_amdahl_fits_sparklens_tightly_at_small_n(self, dataset_mid):
+        def fit_err(family, n_lo, n_hi):
+            errs, tots = 0.0, 0.0
+            mask = (GRID >= n_lo) & (GRID <= n_hi)
+            for i, qid in enumerate(dataset_mid.query_ids):
+                curve = dataset_mid.sparklens_curves[qid]
+                if family == "amdahl":
+                    ppm = fit_amdahl(GRID, curve)
+                else:
+                    ppm = fit_power_law(GRID, curve)
+                pred = ppm.predict_curve(GRID)
+                errs += np.abs(pred[mask] - curve[mask]).sum()
+                tots += curve[mask].sum()
+            return errs / tots
+
+        al_small = fit_err("amdahl", 1, 8)
+        pl_small = fit_err("power_law", 1, 8)
+        al_large = fit_err("amdahl", 40, 48)
+        pl_large = fit_err("power_law", 40, 48)
+        assert al_small < pl_small  # paper: AE_AL better below n=32
+        assert pl_large < al_large  # paper: AE_PL better beyond
+        # paper: ~7% or less using the best model per range
+        assert al_small < 0.07
+        assert pl_large < 0.07
+
+
+class TestFig9ErrorShape:
+    """E(n): largest at small n, smallest mid-range (Section 5.2)."""
+
+    def test_error_largest_at_n1(self, cv_mid):
+        for family in ("power_law", "amdahl", "sparklens"):
+            e1 = cv_mid.mean_error_at(family, 1)
+            for n in (3, 8, 16, 32, 48):
+                assert e1 > cv_mid.mean_error_at(family, n) * 0.95
+
+    def test_error_dips_at_intermediate_n(self, cv_mid):
+        for family in ("power_law", "amdahl"):
+            e_mid = min(
+                cv_mid.mean_error_at(family, n) for n in (3, 8)
+            )
+            assert e_mid < cv_mid.mean_error_at(family, 1) * 0.75
+
+    def test_models_track_sparklens_bias(self, cv_mid):
+        """Model errors at n=1 are close to Sparklens's own error — the
+        bias comes from the shared training source (Section 5.2)."""
+        s = cv_mid.mean_error_at("sparklens", 1)
+        pl = cv_mid.mean_error_at("power_law", 1)
+        assert abs(pl - s) < 0.35
+
+    def test_errors_bias_dominated_not_overfitted(self, cv_mid):
+        """Train (fit) and test (prediction) errors share the same
+        pattern: the models are not over-fitted (Section 5.2)."""
+        for n in (3, 16, 48):
+            train = cv_mid.mean_error_at("power_law", n, "train")
+            test = cv_mid.mean_error_at("power_law", n, "test")
+            assert test < train * 3.0
+
+
+class TestFig10Selection:
+    def test_amdahl_selects_max_n_at_h1(self, cv_mid):
+        """AE_AL always selects 48 at H=1 (no saturation term)."""
+        fold = cv_mid.folds[0]
+        for qid in fold.test_ids:
+            curve = fold.predicted_curves["amdahl"][qid]
+            if curve[0] > curve[-1]:  # any scaling at all
+                assert limited_slowdown(GRID, curve, 1.0) == 48
+
+    def test_power_law_selects_fewer_executors_than_amdahl(self, cv_mid):
+        fold = cv_mid.folds[0]
+        pl = [
+            limited_slowdown(GRID, fold.predicted_curves["power_law"][q], 1.0)
+            for q in fold.test_ids
+        ]
+        al = [
+            limited_slowdown(GRID, fold.predicted_curves["amdahl"][q], 1.0)
+            for q in fold.test_ids
+        ]
+        assert np.mean(pl) < np.mean(al)
+
+    def test_larger_h_saves_executors(self, cv_mid, actuals_mid):
+        fold = cv_mid.folds[0]
+        means = []
+        for h in (1.0, 1.2, 2.0):
+            ns = [
+                limited_slowdown(
+                    GRID, fold.predicted_curves["power_law"][q], h
+                )
+                for q in fold.test_ids
+            ]
+            means.append(np.mean(ns))
+        assert means[0] > means[1] > means[2]
+
+
+class TestFig11Elbows:
+    def test_actual_elbows_cluster_near_8(self, actuals_mid):
+        """Paper: the vast majority of queries have L = 8."""
+        elbows = [
+            elbow_point(GRID, actuals_mid.curve(q, GRID))
+            for q in actuals_mid.query_ids
+        ]
+        assert 5 <= np.median(elbows) <= 9
+
+    def test_amdahl_elbow_always_7(self, cv_mid):
+        """Closed-form property the paper observed empirically."""
+        fold = cv_mid.folds[0]
+        for qid in fold.test_ids:
+            curve = fold.predicted_curves["amdahl"][qid]
+            if curve[0] > curve[-1]:
+                assert elbow_point(GRID, curve) == 7
+
+    def test_power_law_elbows_in_8_to_10(self, cv_mid):
+        fold = cv_mid.folds[0]
+        elbows = [
+            elbow_point(GRID, fold.predicted_curves["power_law"][q])
+            for q in fold.test_ids
+        ]
+        # paper: AE_PL selected 8, 9, or 10 (a spread around the actuals)
+        assert 4 <= np.median(elbows) <= 11
+
+
+class TestFig3cOptimalSpread:
+    def test_optimal_executors_span_the_range(self, actuals_mid):
+        """Prediction is hard because optima vary from ~1 to 48."""
+        optima = [
+            actuals_mid.optimal_executors(q) for q in actuals_mid.query_ids
+        ]
+        # at SF=100 the paper's Figure 3c spans small single-digit optima
+        # up to 48 with a rich spread (SF=10 shifts left; the Fig 3c bench
+        # prints both CDFs)
+        assert min(optima) <= 10
+        assert max(optima) >= 40
+        assert len(set(optima)) >= 8
+
+
+class TestSection55InputSizeChange:
+    def test_sparklens_blind_to_scale_factor(self, cluster):
+        """Sparklens estimates from SF=10 logs cannot track SF=100
+        behaviour (Section 5.5's key observation)."""
+        from repro.engine.allocation import StaticAllocation
+        from repro.engine.scheduler import simulate_query
+        from repro.sparklens.simulator import SparklensEstimator
+        from repro.workloads.generator import Workload
+
+        w10 = Workload(scale_factor=10, query_ids=("q29",))
+        w100 = Workload(scale_factor=100, query_ids=("q29",))
+        log10 = simulate_query(
+            w10.stage_graph("q29"), StaticAllocation(16), cluster,
+            record_log=True,
+        ).execution_log
+        actual100 = simulate_query(
+            w100.stage_graph("q29"), StaticAllocation(16), cluster
+        ).runtime
+        est = SparklensEstimator(log10).estimate(16)
+        assert est < actual100 * 0.6  # wildly underestimates the bigger SF

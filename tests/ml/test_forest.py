@@ -1,0 +1,137 @@
+"""Unit tests for the random forest regressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+
+
+class TestFit:
+    def test_trains_requested_number_of_trees(self, rng):
+        X, y = rng.random((30, 3)), rng.random(30)
+        forest = RandomForestRegressor(n_estimators=7, random_state=0).fit(X, y)
+        assert len(forest.estimators_) == 7
+
+    def test_learns_linear_signal(self, rng):
+        X = rng.random((200, 4))
+        y = 3 * X[:, 0] - 2 * X[:, 1]
+        forest = RandomForestRegressor(n_estimators=30, random_state=0).fit(X, y)
+        mse = float(np.mean((forest.predict(X) - y) ** 2))
+        assert mse < 0.05 * float(np.var(y))
+
+    def test_multioutput_shape(self, rng):
+        X, y = rng.random((40, 3)), rng.random((40, 2))
+        forest = RandomForestRegressor(n_estimators=5, random_state=0).fit(X, y)
+        assert forest.predict(X).shape == (40, 2)
+        assert forest.n_outputs_ == 2
+
+    def test_1d_target_round_trip(self, rng):
+        X, y = rng.random((20, 2)), rng.random(20)
+        forest = RandomForestRegressor(n_estimators=3, random_state=0).fit(X, y)
+        assert forest.predict(X).shape == (20,)
+
+    def test_without_bootstrap_trees_are_identical(self, rng):
+        X, y = rng.random((30, 3)), rng.random(30)
+        forest = RandomForestRegressor(
+            n_estimators=4, bootstrap=False, random_state=0
+        ).fit(X, y)
+        preds = [t.predict(X) for t in forest.estimators_]
+        for p in preds[1:]:
+            assert np.allclose(p, preds[0])
+
+    def test_bootstrap_trees_differ(self, rng):
+        X, y = rng.random((50, 3)), rng.random(50)
+        forest = RandomForestRegressor(n_estimators=4, random_state=0).fit(X, y)
+        preds = [t.predict(X) for t in forest.estimators_]
+        assert not np.allclose(preds[0], preds[1])
+
+    def test_prediction_is_mean_of_trees(self, rng):
+        X, y = rng.random((25, 2)), rng.random(25)
+        forest = RandomForestRegressor(n_estimators=5, random_state=0).fit(X, y)
+        stacked = np.stack(
+            [np.atleast_2d(t.predict(X).T).T for t in forest.estimators_]
+        )
+        assert np.allclose(forest.predict(X), stacked.mean(axis=0)[:, 0])
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_predictions(self, rng):
+        X, y = rng.random((60, 4)), rng.random(60)
+        p1 = RandomForestRegressor(n_estimators=10, random_state=42).fit(X, y).predict(X)
+        p2 = RandomForestRegressor(n_estimators=10, random_state=42).fit(X, y).predict(X)
+        assert np.allclose(p1, p2)
+
+    def test_different_seeds_differ(self, rng):
+        X, y = rng.random((60, 4)), rng.random(60)
+        p1 = RandomForestRegressor(n_estimators=10, random_state=1).fit(X, y).predict(X)
+        p2 = RandomForestRegressor(n_estimators=10, random_state=2).fit(X, y).predict(X)
+        assert not np.allclose(p1, p2)
+
+
+class TestValidation:
+    def test_rejects_zero_estimators(self):
+        with pytest.raises(ValueError, match="n_estimators"):
+            RandomForestRegressor(n_estimators=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            RandomForestRegressor().predict(np.zeros((1, 2)))
+
+    def test_rejects_wrong_feature_count_at_predict(self, rng):
+        forest = RandomForestRegressor(n_estimators=2, random_state=0).fit(
+            rng.random((10, 3)), rng.random(10)
+        )
+        with pytest.raises(ValueError, match="features"):
+            forest.predict(rng.random((2, 5)))
+
+    def test_rejects_empty_dataset(self):
+        with pytest.raises(ValueError, match="empty"):
+            RandomForestRegressor(n_estimators=2).fit(
+                np.empty((0, 3)), np.empty(0)
+            )
+
+    def test_rejects_length_mismatch(self, rng):
+        with pytest.raises(ValueError, match="inconsistent"):
+            RandomForestRegressor(n_estimators=2).fit(
+                rng.random((5, 2)), rng.random(4)
+            )
+
+
+class TestImportances:
+    def test_importances_identify_signal_feature(self, rng):
+        X = rng.random((150, 5))
+        y = 10 * X[:, 3] + rng.normal(0, 0.05, 150)
+        forest = RandomForestRegressor(n_estimators=20, random_state=0).fit(X, y)
+        imp = forest.feature_importances_
+        assert int(np.argmax(imp)) == 3
+        assert abs(imp.sum() - 1.0) < 1e-6
+
+    def test_importances_before_fit_raise(self):
+        with pytest.raises(RuntimeError):
+            _ = RandomForestRegressor().feature_importances_
+
+
+class TestGeneralization:
+    def test_forest_beats_single_tree_out_of_sample(self, rng):
+        X = rng.random((300, 5))
+        y = np.sin(4 * X[:, 0]) + 0.5 * X[:, 1] + rng.normal(0, 0.2, 300)
+        X_tr, y_tr, X_te, y_te = X[:200], y[:200], X[200:], y[200:]
+        from repro.ml.tree import DecisionTreeRegressor
+
+        tree_mse = float(
+            np.mean(
+                (DecisionTreeRegressor(random_state=0).fit(X_tr, y_tr).predict(X_te) - y_te) ** 2
+            )
+        )
+        forest_mse = float(
+            np.mean(
+                (
+                    RandomForestRegressor(n_estimators=40, random_state=0)
+                    .fit(X_tr, y_tr)
+                    .predict(X_te)
+                    - y_te
+                )
+                ** 2
+            )
+        )
+        assert forest_mse < tree_mse

@@ -1,0 +1,78 @@
+"""Unit tests for permutation feature importance."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.importance import permutation_importance
+from repro.ml.linear import LinearRegression
+
+
+@pytest.fixture(scope="module")
+def fitted_model_and_data():
+    rng = np.random.default_rng(0)
+    X = rng.random((200, 4))
+    y = 5 * X[:, 0] + 0.5 * X[:, 2] + rng.normal(0, 0.05, 200)
+    model = RandomForestRegressor(n_estimators=20, random_state=0).fit(X, y)
+    return model, X, y
+
+
+class TestPermutationImportance:
+    def test_signal_feature_ranks_first(self, fitted_model_and_data):
+        model, X, y = fitted_model_and_data
+        result = permutation_importance(model, X, y, n_repeats=5, random_state=0)
+        assert int(np.argmax(result.importances_mean)) == 0
+
+    def test_noise_features_near_zero(self, fitted_model_and_data):
+        model, X, y = fitted_model_and_data
+        result = permutation_importance(model, X, y, n_repeats=5, random_state=0)
+        # features 1 and 3 carry no signal
+        assert result.importances_mean[1] < 0.05
+        assert result.importances_mean[3] < 0.05
+
+    def test_shapes(self, fitted_model_and_data):
+        model, X, y = fitted_model_and_data
+        result = permutation_importance(model, X, y, n_repeats=7, random_state=0)
+        assert result.importances.shape == (4, 7)
+        assert result.importances_mean.shape == (4,)
+        assert result.importances_std.shape == (4,)
+
+    def test_deterministic_given_seed(self, fitted_model_and_data):
+        model, X, y = fitted_model_and_data
+        r1 = permutation_importance(model, X, y, n_repeats=3, random_state=9)
+        r2 = permutation_importance(model, X, y, n_repeats=3, random_state=9)
+        assert np.allclose(r1.importances, r2.importances)
+
+    def test_works_with_linear_model(self, rng):
+        X = rng.random((100, 3))
+        y = X[:, 1] * 4
+        model = LinearRegression().fit(X, y)
+        result = permutation_importance(model, X, y, n_repeats=4, random_state=0)
+        assert int(np.argmax(result.importances_mean)) == 1
+
+    def test_custom_scorer(self, fitted_model_and_data):
+        model, X, y = fitted_model_and_data
+
+        def neg_mae(y_true, y_pred):
+            return -float(np.mean(np.abs(y_true - y_pred)))
+
+        result = permutation_importance(
+            model, X, y, n_repeats=3, random_state=0, scorer=neg_mae
+        )
+        assert int(np.argmax(result.importances_mean)) == 0
+
+    def test_rejects_zero_repeats(self, fitted_model_and_data):
+        model, X, y = fitted_model_and_data
+        with pytest.raises(ValueError, match="n_repeats"):
+            permutation_importance(model, X, y, n_repeats=0)
+
+    def test_rejects_1d_X(self, fitted_model_and_data):
+        model, _, y = fitted_model_and_data
+        with pytest.raises(ValueError, match="2-D"):
+            permutation_importance(model, np.zeros(5), y[:5])
+
+    def test_does_not_mutate_input(self, fitted_model_and_data):
+        model, X, y = fitted_model_and_data
+        X_copy = X.copy()
+        permutation_importance(model, X, y, n_repeats=2, random_state=0)
+        assert np.array_equal(X, X_copy)

@@ -1,0 +1,90 @@
+"""Unit tests for ordinary least squares."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LinearRegression
+
+
+class TestExactRecovery:
+    def test_recovers_line(self):
+        X = np.arange(10, dtype=float)[:, None]
+        y = 2.5 * X[:, 0] + 1.0
+        reg = LinearRegression().fit(X, y)
+        assert abs(reg.coef_[0] - 2.5) < 1e-9
+        assert abs(reg.intercept_ - 1.0) < 1e-9
+
+    def test_recovers_multivariate_plane(self, rng):
+        X = rng.random((50, 3))
+        y = X @ np.array([1.0, -2.0, 0.5]) + 4.0
+        reg = LinearRegression().fit(X, y)
+        assert np.allclose(reg.coef_, [1.0, -2.0, 0.5])
+        assert abs(reg.intercept_ - 4.0) < 1e-9
+
+    def test_without_intercept_forces_origin(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([2.0, 4.0, 6.0])
+        reg = LinearRegression(fit_intercept=False).fit(X, y)
+        assert abs(reg.coef_[0] - 2.0) < 1e-9
+        assert reg.intercept_ == pytest.approx(0.0)
+
+    def test_multioutput(self, rng):
+        X = rng.random((30, 2))
+        Y = np.column_stack([X[:, 0] * 2, X[:, 1] * -3 + 1])
+        reg = LinearRegression().fit(X, Y)
+        assert reg.predict(X).shape == (30, 2)
+        assert np.allclose(reg.predict(X), Y)
+
+    def test_accepts_1d_X(self):
+        x = np.arange(5.0)
+        reg = LinearRegression().fit(x, 3 * x)
+        assert np.allclose(reg.predict(np.array([10.0])), [30.0])
+
+
+class TestAmdahlAndPowerLawFitShapes:
+    """The two regressions Section 3.4 actually performs."""
+
+    def test_amdahl_shape_t_vs_inverse_n(self):
+        n = np.arange(1, 49, dtype=float)
+        t = 12.0 + 340.0 / n
+        reg = LinearRegression().fit((1.0 / n)[:, None], t)
+        assert abs(reg.intercept_ - 12.0) < 1e-9
+        assert abs(reg.coef_[0] - 340.0) < 1e-6
+
+    def test_power_law_shape_loglog(self):
+        n = np.arange(1, 33, dtype=float)
+        t = 500.0 * n**-0.8
+        reg = LinearRegression().fit(np.log(n)[:, None], np.log(t))
+        assert abs(reg.coef_[0] + 0.8) < 1e-9
+        assert abs(np.exp(reg.intercept_) - 500.0) < 1e-6
+
+
+class TestDegenerateInputs:
+    def test_rank_deficient_design_does_not_crash(self):
+        X = np.ones((5, 2))  # two identical constant columns
+        y = np.arange(5.0)
+        reg = LinearRegression().fit(X, y)
+        assert np.isfinite(reg.predict(X)).all()
+
+    def test_single_sample(self):
+        reg = LinearRegression().fit(np.array([[1.0]]), np.array([5.0]))
+        assert np.isfinite(reg.predict(np.array([[1.0]]))).all()
+
+
+class TestValidation:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LinearRegression().predict(np.zeros((1, 1)))
+
+    def test_rejects_length_mismatch(self, rng):
+        with pytest.raises(ValueError, match="inconsistent"):
+            LinearRegression().fit(rng.random((4, 2)), rng.random(5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            LinearRegression().fit(np.empty((0, 1)), np.empty(0))
+
+    def test_predict_rejects_wrong_width(self, rng):
+        reg = LinearRegression().fit(rng.random((5, 2)), rng.random(5))
+        with pytest.raises(ValueError, match="features"):
+            reg.predict(rng.random((2, 3)))

@@ -1,0 +1,107 @@
+"""Unit tests for regression metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    total_absolute_error_ratio,
+)
+
+
+class TestBasicMetrics:
+    def test_mse_known_value(self):
+        assert mean_squared_error([1.0, 2.0], [1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_mae_known_value(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 4.0]) == pytest.approx(1.5)
+
+    def test_perfect_prediction_zero_error(self, rng):
+        y = rng.random(20)
+        assert mean_squared_error(y, y) == 0.0
+        assert mean_absolute_error(y, y) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            mean_squared_error(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            mean_absolute_error(np.array([]), np.array([]))
+
+
+class TestR2:
+    def test_perfect_fit_scores_one(self, rng):
+        y = rng.random(15)
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_mean_predictor_scores_zero(self, rng):
+        y = rng.random(50)
+        pred = np.full_like(y, y.mean())
+        assert r2_score(y, pred) == pytest.approx(0.0)
+
+    def test_bad_predictor_scores_negative(self, rng):
+        y = rng.random(50)
+        assert r2_score(y, -10 * y) < 0.0
+
+    def test_constant_target_conventions(self):
+        y = np.ones(5)
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, y + 1) == 0.0
+
+    def test_multioutput_uniform_average(self, rng):
+        y = rng.random((20, 2))
+        pred = y.copy()
+        pred[:, 1] = y[:, 1].mean()  # output 1 scored by mean predictor
+        assert r2_score(y, pred) == pytest.approx(0.5, abs=1e-9)
+
+
+class TestE_Metric:
+    """total_absolute_error_ratio is Equation 6's building block."""
+
+    def test_known_value(self):
+        actual = np.array([10.0, 20.0])
+        predicted = np.array([12.0, 17.0])
+        assert total_absolute_error_ratio(actual, predicted) == pytest.approx(
+            5.0 / 30.0
+        )
+
+    def test_perfect_prediction_is_zero(self, rng):
+        y = rng.random(10) + 1.0
+        assert total_absolute_error_ratio(y, y) == 0.0
+
+    def test_symmetric_in_error_sign(self):
+        actual = np.array([10.0, 10.0])
+        over = total_absolute_error_ratio(actual, np.array([12.0, 12.0]))
+        under = total_absolute_error_ratio(actual, np.array([8.0, 8.0]))
+        assert over == pytest.approx(under)
+
+    def test_zero_actuals_rejected(self):
+        with pytest.raises(ValueError, match="undefined"):
+            total_absolute_error_ratio(np.zeros(3), np.ones(3))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=999))
+def test_property_mse_at_least_squared_mae_relation(seed):
+    """Jensen: MSE >= MAE^2 for any data."""
+    rng = np.random.default_rng(seed)
+    y = rng.normal(size=30)
+    p = rng.normal(size=30)
+    assert mean_squared_error(y, p) >= mean_absolute_error(y, p) ** 2 - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=999))
+def test_property_e_metric_nonnegative_and_scale_invariant(seed):
+    rng = np.random.default_rng(seed)
+    actual = rng.random(20) + 0.5
+    predicted = rng.random(20) + 0.5
+    e = total_absolute_error_ratio(actual, predicted)
+    assert e >= 0.0
+    # scaling both series leaves the ratio unchanged
+    assert total_absolute_error_ratio(3 * actual, 3 * predicted) == pytest.approx(e)

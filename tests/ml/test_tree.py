@@ -1,0 +1,199 @@
+"""Unit tests for the CART regression tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.tree import DecisionTreeRegressor, _resolve_max_features
+
+
+class TestFitBasics:
+    def test_fits_constant_target_with_single_leaf(self):
+        X = np.arange(10, dtype=float)[:, None]
+        y = np.full(10, 3.5)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.n_leaves_ == 1
+        assert np.allclose(tree.predict(X), 3.5)
+
+    def test_perfectly_separates_step_function(self):
+        X = np.arange(20, dtype=float)[:, None]
+        y = (X[:, 0] >= 10).astype(float)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert np.allclose(tree.predict(X), y)
+
+    def test_memorizes_training_data_with_unique_features(self, rng):
+        X = rng.random((50, 3))
+        y = rng.random(50)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert np.allclose(tree.predict(X), y)
+
+    def test_multioutput_predictions_have_output_shape(self, rng):
+        X = rng.random((30, 4))
+        y = rng.random((30, 3))
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.predict(X).shape == (30, 3)
+        assert np.allclose(tree.predict(X), y)
+
+    def test_1d_target_gives_1d_predictions(self, rng):
+        X = rng.random((10, 2))
+        tree = DecisionTreeRegressor().fit(X, rng.random(10))
+        assert tree.predict(X).shape == (10,)
+
+    def test_splits_reduce_mse_over_root_prediction(self, rng):
+        X = rng.random((100, 5))
+        y = 2.0 * X[:, 0] + rng.normal(0, 0.01, 100)
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        mse_tree = float(np.mean((tree.predict(X) - y) ** 2))
+        mse_mean = float(np.var(y))
+        assert mse_tree < mse_mean * 0.5
+
+
+class TestHyperparameters:
+    def test_max_depth_zero_not_allowed_but_one_limits_to_stump(self, rng):
+        X = rng.random((40, 2))
+        y = rng.random(40)
+        tree = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        assert tree.depth_ <= 1
+        assert tree.n_leaves_ <= 2
+
+    def test_max_depth_none_grows_deep(self, rng):
+        X = rng.random((64, 1))
+        y = rng.random(64)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.n_leaves_ == 64
+
+    def test_min_samples_leaf_enforced(self, rng):
+        X = rng.random((60, 3))
+        y = rng.random(60)
+        tree = DecisionTreeRegressor(min_samples_leaf=7).fit(X, y)
+        for node in tree.nodes_:
+            if node.is_leaf:
+                assert node.n_samples >= 7
+
+    def test_min_samples_split_stops_growth(self, rng):
+        X = rng.random((30, 2))
+        y = rng.random(30)
+        tree = DecisionTreeRegressor(min_samples_split=31).fit(X, y)
+        assert tree.n_leaves_ == 1
+
+    def test_max_features_subsampling_still_fits(self, rng):
+        X = rng.random((50, 8))
+        y = X[:, 2] * 3
+        tree = DecisionTreeRegressor(max_features="sqrt", random_state=0).fit(
+            X, y
+        )
+        # With feature subsampling the fit may be imperfect but must beat
+        # the mean predictor.
+        mse = float(np.mean((tree.predict(X) - y) ** 2))
+        assert mse < float(np.var(y))
+
+    @pytest.mark.parametrize(
+        "spec,n,expected",
+        [
+            (None, 10, 10),
+            (1.0, 10, 10),
+            (0.5, 10, 5),
+            (3, 10, 3),
+            (30, 10, 10),
+            ("sqrt", 16, 4),
+            ("log2", 16, 4),
+        ],
+    )
+    def test_resolve_max_features(self, spec, n, expected):
+        assert _resolve_max_features(spec, n) == expected
+
+    @pytest.mark.parametrize("bad", ["bogus", 0, -1, 0.0, 1.5, True])
+    def test_resolve_max_features_rejects_bad_specs(self, bad):
+        with pytest.raises((ValueError, TypeError)):
+            _resolve_max_features(bad, 10)
+
+
+class TestValidation:
+    def test_rejects_1d_X(self):
+        with pytest.raises(ValueError, match="2-D"):
+            DecisionTreeRegressor().fit(np.arange(5.0), np.arange(5.0))
+
+    def test_rejects_mismatched_lengths(self, rng):
+        with pytest.raises(ValueError, match="inconsistent"):
+            DecisionTreeRegressor().fit(rng.random((5, 2)), rng.random(6))
+
+    def test_rejects_empty_dataset(self):
+        with pytest.raises(ValueError, match="empty"):
+            DecisionTreeRegressor().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_rejects_3d_target(self, rng):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(
+                rng.random((5, 2)), rng.random((5, 2, 2))
+            )
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+    def test_predict_rejects_wrong_feature_count(self, rng):
+        tree = DecisionTreeRegressor().fit(rng.random((10, 3)), rng.random(10))
+        with pytest.raises(ValueError, match="features"):
+            tree.predict(rng.random((2, 4)))
+
+
+class TestIntrospection:
+    def test_feature_importances_sum_to_one(self, rng):
+        X = rng.random((60, 4))
+        y = X[:, 1] * 5 + rng.normal(0, 0.1, 60)
+        tree = DecisionTreeRegressor().fit(X, y)
+        imp = tree.feature_importances_
+        assert imp.shape == (4,)
+        assert abs(imp.sum() - 1.0) < 1e-9
+        assert int(np.argmax(imp)) == 1
+
+    def test_importances_zero_for_constant_target(self, rng):
+        X = rng.random((20, 3))
+        tree = DecisionTreeRegressor().fit(X, np.ones(20))
+        assert np.allclose(tree.feature_importances_, 0.0)
+
+    def test_apply_returns_leaf_ids(self, rng):
+        X = rng.random((25, 2))
+        tree = DecisionTreeRegressor().fit(X, rng.random(25))
+        leaves = tree.apply(X)
+        assert leaves.shape == (25,)
+        for leaf in leaves:
+            assert tree.nodes_[leaf].is_leaf
+
+
+class TestDeterminism:
+    def test_same_seed_same_tree(self, rng):
+        X = rng.random((40, 6))
+        y = rng.random(40)
+        t1 = DecisionTreeRegressor(max_features=3, random_state=7).fit(X, y)
+        t2 = DecisionTreeRegressor(max_features=3, random_state=7).fit(X, y)
+        assert np.allclose(t1.predict(X), t2.predict(X))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=40),
+    d=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_property_predictions_within_target_range(n, d, seed):
+    """Leaf means can never leave the convex hull of the training targets."""
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, d))
+    y = rng.normal(size=n)
+    tree = DecisionTreeRegressor().fit(X, y)
+    preds = tree.predict(rng.random((20, d)))
+    assert preds.min() >= y.min() - 1e-9
+    assert preds.max() <= y.max() + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=999))
+def test_property_depth_respects_bound(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.random((50, 3))
+    y = rng.normal(size=50)
+    for depth in (1, 2, 4):
+        tree = DecisionTreeRegressor(max_depth=depth).fit(X, y)
+        assert tree.depth_ <= depth

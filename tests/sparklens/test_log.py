@@ -1,0 +1,62 @@
+"""Unit tests for execution logs."""
+
+import numpy as np
+import pytest
+
+from repro.sparklens.log import ExecutionLog, StageLog
+
+
+class TestStageLog:
+    def test_summary_statistics(self):
+        stage = StageLog(
+            stage_id=0, dependencies=[], task_durations=[1.0, 2.0, 3.0]
+        )
+        assert stage.total_work == pytest.approx(6.0)
+        assert stage.critical_task == pytest.approx(3.0)
+        assert stage.num_tasks == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one task"):
+            StageLog(stage_id=0, dependencies=[], task_durations=[])
+
+    def test_rejects_nonpositive_durations(self):
+        with pytest.raises(ValueError, match="positive"):
+            StageLog(stage_id=0, dependencies=[], task_durations=[1.0, 0.0])
+
+    def test_coerces_to_array(self):
+        stage = StageLog(stage_id=0, dependencies=[], task_durations=[1, 2])
+        assert isinstance(stage.task_durations, np.ndarray)
+
+
+class TestExecutionLog:
+    def test_total_work_sums_stages(self):
+        log = ExecutionLog(
+            query_id="q",
+            driver_seconds=2.0,
+            stages=[
+                StageLog(0, [], [1.0, 1.0]),
+                StageLog(1, [0], [3.0]),
+            ],
+        )
+        assert log.total_work == pytest.approx(5.0)
+
+    def test_rejects_no_stages(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            ExecutionLog(query_id="q", driver_seconds=0.0, stages=[])
+
+    def test_rejects_unknown_dependency(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ExecutionLog(
+                query_id="q", driver_seconds=0.0,
+                stages=[StageLog(0, [7], [1.0])],
+            )
+
+    def test_rejects_forward_dependency(self):
+        with pytest.raises(ValueError, match="topologically"):
+            ExecutionLog(
+                query_id="q", driver_seconds=0.0,
+                stages=[
+                    StageLog(0, [1], [1.0]),
+                    StageLog(1, [], [1.0]),
+                ],
+            )

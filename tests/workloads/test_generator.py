@@ -1,0 +1,51 @@
+"""Unit tests for the Workload bundle."""
+
+import pytest
+
+from repro.workloads.generator import Workload
+from repro.workloads.tpcds import QUERY_IDS
+
+
+class TestWorkload:
+    def test_defaults_to_full_query_set(self):
+        w = Workload(scale_factor=1)
+        assert len(w) == 103
+        assert list(w) == list(QUERY_IDS)
+
+    def test_subset_selection(self):
+        w = Workload(scale_factor=1, query_ids=("q1", "q2"))
+        assert len(w) == 2
+
+    def test_unknown_subset_rejected(self):
+        with pytest.raises(ValueError, match="unknown query ids"):
+            Workload(scale_factor=1, query_ids=("q1", "nope"))
+
+    def test_plan_cached(self):
+        w = Workload(scale_factor=1)
+        assert w.plan("q1") is w.plan("q1")
+
+    def test_plan_outside_subset_rejected(self):
+        w = Workload(scale_factor=1, query_ids=("q1",))
+        with pytest.raises(KeyError):
+            w.plan("q2")
+
+    def test_optimized_plan_is_rewritten(self):
+        w = Workload(scale_factor=10)
+        raw = w.plan("q9")
+        opt = w.optimized_plan("q9")
+        # optimization may only shrink the operator count (rewrites drop
+        # no-op filters / collapse projects) and never grows input bytes
+        assert opt.num_operators() <= raw.num_operators()
+        assert opt.total_input_bytes() <= raw.total_input_bytes() + 1e-6
+
+    def test_stage_graph_cached_and_valid(self):
+        w = Workload(scale_factor=10)
+        g = w.stage_graph("q5")
+        assert g is w.stage_graph("q5")
+        assert g.total_tasks >= 1
+        assert g.query_id == "q5"
+
+    def test_distinct_scale_factors_distinct_graphs(self):
+        g10 = Workload(scale_factor=10).stage_graph("q5")
+        g100 = Workload(scale_factor=100).stage_graph("q5")
+        assert g100.total_work > g10.total_work

@@ -1,0 +1,121 @@
+"""Unit tests for the synthetic production trace.
+
+Every statistic the paper reports for its Microsoft workload snapshot
+(Sections 2.1–2.2) is asserted here against the generator's output.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.production import (
+    DEFAULT_MAX_EXECUTORS,
+    DEFAULT_MIN_EXECUTORS,
+    ProductionTrace,
+    generate_production_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def trace() -> ProductionTrace:
+    return generate_production_trace(n_applications=9_000, seed=0)
+
+
+class TestShape:
+    def test_sizes(self, trace):
+        assert trace.n_applications == 9_000
+        assert trace.n_queries > trace.n_applications
+
+    def test_deterministic(self):
+        t1 = generate_production_trace(n_applications=500, seed=3)
+        t2 = generate_production_trace(n_applications=500, seed=3)
+        assert np.array_equal(t1.queries_per_app, t2.queries_per_app)
+        assert np.array_equal(t1.static_executors, t2.static_executors)
+
+    def test_seed_changes_trace(self):
+        t1 = generate_production_trace(n_applications=500, seed=1)
+        t2 = generate_production_trace(n_applications=500, seed=2)
+        assert not np.array_equal(t1.queries_per_app, t2.queries_per_app)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            generate_production_trace(n_applications=0)
+
+
+class TestFig2aQueriesPerApp:
+    def test_more_than_60_percent_multi_query(self, trace):
+        """Paper: 'more than 60% of the applications have more than one
+        query'."""
+        assert trace.multi_query_fraction() > 0.60
+
+    def test_heavy_tail_reaches_thousands(self, trace):
+        assert trace.queries_per_app.max() > 1_000
+
+    def test_tail_capped(self, trace):
+        assert trace.queries_per_app.max() <= 10_000
+
+
+class TestFig2bVariation:
+    def test_single_query_apps_have_zero_cov(self, trace):
+        single = trace.queries_per_app == 1
+        assert np.all(trace.cov_query_times[single] == 0.0)
+
+    def test_half_of_apps_exceed_20pct_operator_cov(self, trace):
+        """Paper: CoV of 20% or more in operator counts for half the apps."""
+        assert np.mean(trace.cov_operator_counts >= 20.0) >= 0.45
+
+    def test_rows_cov_exceeds_40pct_for_half(self, trace):
+        assert np.mean(trace.cov_rows_processed >= 40.0) >= 0.45
+
+    def test_times_cov_exceeds_60pct_for_half(self, trace):
+        assert np.mean(trace.cov_query_times >= 60.0) >= 0.45
+
+    def test_ordering_of_the_three_metrics(self, trace):
+        """Times vary more than rows, rows more than operator counts."""
+        assert (
+            np.median(trace.cov_query_times[trace.queries_per_app > 1])
+            > np.median(trace.cov_rows_processed[trace.queries_per_app > 1])
+            > np.median(trace.cov_operator_counts[trace.queries_per_app > 1])
+        )
+
+
+class TestFig2cConcurrency:
+    def test_70_percent_never_share(self, trace):
+        """Paper: around 70% of applications do not share compute."""
+        assert 0.65 <= trace.unshared_cluster_fraction() <= 0.75
+
+    def test_peaks_bounded_at_64(self, trace):
+        assert trace.max_concurrent_apps.max() <= 64
+        assert trace.max_concurrent_apps.min() >= 1
+
+
+class TestFig3aAllocationConfig:
+    def test_59_percent_dynamic_allocation(self, trace):
+        """Paper Section 2.2: 59% of applications enable DA."""
+        assert 0.56 <= trace.da_fraction() <= 0.62
+
+    def test_97_percent_keep_default_thresholds(self, trace):
+        assert 0.95 <= trace.default_threshold_fraction() <= 0.99
+
+    def test_default_thresholds_are_pathological(self):
+        assert DEFAULT_MIN_EXECUTORS == 0
+        assert DEFAULT_MAX_EXECUTORS == 2**31 - 1
+
+    def test_custom_ranges_mostly_2(self, trace):
+        """Paper Fig 3a: almost 60% of custom ranges are just 2."""
+        ranges = trace.custom_da_ranges()
+        assert ranges.size > 0
+        assert 0.5 <= np.mean(ranges == 2) <= 0.7
+        assert ranges.max() <= 64
+
+
+class TestFig3bStaticAllocation:
+    def test_80_percent_run_with_default_2_executors(self, trace):
+        """Paper: 80% of non-DA applications use the default of 2."""
+        static = trace.static_allocations()
+        assert 0.75 <= np.mean(static == 2) <= 0.85
+
+    def test_total_cores_tail_reaches_2048(self, trace):
+        assert trace.static_total_cores().max() == 2048
+
+    def test_da_apps_have_no_static_entry(self, trace):
+        assert np.all(trace.static_executors[trace.dynamic_allocation] == 0)

@@ -1,0 +1,139 @@
+"""Unit tests for the TPC-DS-like workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.engine.plan import OperatorKind
+from repro.workloads.tpcds import (
+    QUERY_IDS,
+    TABLE_CATALOG,
+    build_query,
+    tpcds_workload,
+)
+
+
+class TestQueryIds:
+    def test_103_queries(self):
+        """Paper Section 5.1: 103 queries = 99 + variants."""
+        assert len(QUERY_IDS) == 103
+
+    def test_variants_present(self):
+        for variant in ("q14b", "q23b", "q24b", "q39b"):
+            assert variant in QUERY_IDS
+
+    def test_ids_unique(self):
+        assert len(set(QUERY_IDS)) == 103
+
+
+class TestCatalog:
+    def test_fact_tables_scale_linearly(self):
+        ss = TABLE_CATALOG["store_sales"]
+        assert ss.rows(100) == pytest.approx(100 * ss.rows(1))
+
+    def test_calendar_dimensions_do_not_scale(self):
+        dd = TABLE_CATALOG["date_dim"]
+        assert dd.rows(100) == pytest.approx(dd.rows(1))
+
+    def test_customer_scales_sublinearly(self):
+        c = TABLE_CATALOG["customer"]
+        assert c.rows(1) < c.rows(100) < 100 * c.rows(1)
+
+    def test_source_carries_scaled_sizes(self):
+        src = TABLE_CATALOG["web_sales"].source(10)
+        assert src.rows == pytest.approx(7.2e6)
+        assert src.bytes > 0
+
+
+class TestBuildQuery:
+    def test_plans_validate(self):
+        for qid in QUERY_IDS[:20]:
+            build_query(qid, scale_factor=10).validate()
+
+    def test_deterministic(self):
+        p1 = build_query("q42", 100)
+        p2 = build_query("q42", 100)
+        assert p1.operator_counts() == p2.operator_counts()
+        assert p1.total_input_bytes() == p2.total_input_bytes()
+
+    def test_different_queries_differ(self):
+        a = build_query("q1", 100)
+        b = build_query("q2", 100)
+        assert (
+            a.operator_counts() != b.operator_counts()
+            or a.total_input_bytes() != b.total_input_bytes()
+        )
+
+    def test_scale_factor_scales_bytes(self):
+        small = build_query("q5", 10)
+        large = build_query("q5", 100)
+        assert large.total_input_bytes() > 2 * small.total_input_bytes()
+
+    def test_same_template_across_scale_factors(self):
+        """SF changes data sizes, not query shape (same SQL text)."""
+        small = build_query("q5", 10)
+        large = build_query("q5", 100)
+        assert small.operator_counts() == large.operator_counts()
+        assert small.max_depth() == large.max_depth()
+
+    def test_variant_shares_base_structure_but_differs(self):
+        base = build_query("q14", 100)
+        variant = build_query("q14b", 100)
+        assert variant.num_operators() >= base.num_operators()
+        # the variant adds its re-parameterized top filter
+        assert (
+            variant.operator_counts()[OperatorKind.FILTER]
+            >= base.operator_counts()[OperatorKind.FILTER]
+        )
+
+    def test_every_query_aggregates(self):
+        for qid in QUERY_IDS[:30]:
+            counts = build_query(qid, 10).operator_counts()
+            assert counts[OperatorKind.AGGREGATE] >= 1
+
+    def test_every_query_has_exchange(self):
+        for qid in QUERY_IDS[:30]:
+            counts = build_query(qid, 10).operator_counts()
+            assert counts[OperatorKind.EXCHANGE] >= 1
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(ValueError, match="unknown query id"):
+            build_query("q200", 10)
+
+    def test_nonpositive_sf_rejected(self):
+        with pytest.raises(ValueError, match="scale factor"):
+            build_query("q1", 0)
+
+    def test_seed_changes_templates(self):
+        a = build_query("q1", 10, seed=0)
+        b = build_query("q1", 10, seed=1)
+        assert (
+            a.operator_counts() != b.operator_counts()
+            or a.total_input_bytes() != b.total_input_bytes()
+        )
+
+
+class TestWorkloadDiversity:
+    """Figure 2b / 3c motivation: queries must be genuinely diverse."""
+
+    @pytest.fixture(scope="class")
+    def plans(self):
+        return tpcds_workload(scale_factor=100)
+
+    def test_full_workload_size(self, plans):
+        assert len(plans) == 103
+
+    def test_operator_count_diversity(self, plans):
+        totals = np.array([p.num_operators() for p in plans])
+        assert totals.std() / totals.mean() > 0.2
+
+    def test_input_bytes_span_orders_of_magnitude(self, plans):
+        nbytes = np.array([p.total_input_bytes() for p in plans])
+        assert nbytes.max() / nbytes.min() > 20
+
+    def test_depth_varies(self, plans):
+        depths = {p.max_depth() for p in plans}
+        assert len(depths) >= 4
+
+    def test_multiple_input_source_counts(self, plans):
+        counts = {len(p.input_sources()) for p in plans}
+        assert len(counts) >= 4

@@ -1,0 +1,74 @@
+"""Property-based tests for the workload generator (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.optimizer import Optimizer
+from repro.engine.plan import OperatorKind
+from repro.engine.stages import compile_stages
+from repro.workloads.tpcds import QUERY_IDS, build_query
+
+query_ids = st.sampled_from(QUERY_IDS)
+scale_factors = st.sampled_from([1, 5, 10, 50, 100])
+
+
+@settings(max_examples=40, deadline=None)
+@given(qid=query_ids, sf=scale_factors)
+def test_property_plans_always_validate(qid, sf):
+    plan = build_query(qid, sf)
+    plan.validate()  # raises on violation
+    assert plan.total_input_bytes() > 0
+    assert plan.total_rows_processed() > 0
+    assert plan.max_depth() >= 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(qid=query_ids, sf=scale_factors)
+def test_property_plans_compile_to_valid_stage_graphs(qid, sf):
+    graph = compile_stages(build_query(qid, sf))
+    graph.validate()
+    assert graph.total_work > 0
+    assert graph.critical_path_seconds() > graph.driver_seconds
+    assert graph.max_stage_width <= 96  # the compiler's width cap
+
+
+@settings(max_examples=30, deadline=None)
+@given(qid=query_ids, sf=scale_factors)
+def test_property_optimizer_never_grows_plans(qid, sf):
+    """Rewrites only remove or fold operators, never invent work."""
+    plan = build_query(qid, sf)
+    optimized = Optimizer().optimize(plan).plan
+    optimized.validate()
+    assert optimized.num_operators() <= plan.num_operators()
+    assert optimized.total_input_bytes() <= plan.total_input_bytes() + 1e-6
+    # pushdown can only shrink scan cardinalities
+    assert (
+        optimized.total_rows_processed()
+        <= plan.total_rows_processed() + 1e-6
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(qid=query_ids)
+def test_property_bytes_monotone_in_scale_factor(qid):
+    sizes = [build_query(qid, sf).total_input_bytes() for sf in (1, 10, 100)]
+    assert sizes[0] < sizes[1] < sizes[2]
+
+
+@settings(max_examples=30, deadline=None)
+@given(qid=query_ids, sf=scale_factors)
+def test_property_work_scales_with_data(qid, sf):
+    small = compile_stages(build_query(qid, 1))
+    big = compile_stages(build_query(qid, sf))
+    if sf > 1:
+        assert big.total_work >= small.total_work
+
+
+@settings(max_examples=20, deadline=None)
+@given(qid=query_ids, sf=scale_factors)
+def test_property_scan_leaves_only(qid, sf):
+    plan = build_query(qid, sf)
+    for node in plan.walk():
+        if not node.children:
+            assert node.kind == OperatorKind.SCAN
