@@ -1,0 +1,194 @@
+"""Fleet concurrency: AutoExecutor vs static-default vs oracle on a
+shared pool under rising arrival rates.
+
+The paper's production setting (Section 2) is a shared serverless pool
+serving many concurrent queries.  This bench serves a 120-query Poisson
+stream through a 160-executor pool at three arrival rates and compares
+per-query allocation strategies end to end:
+
+- **AutoExecutor** — the online :class:`repro.fleet.PredictionService`
+  (portable exported model, plan-signature cache, measured selection
+  overhead charged to each query);
+- **static-default** — one size for every query, provisioned for the
+  workload's big queries: the over-allocation the paper's Figure 13
+  measures its savings against;
+- **Spark-default SA(2)** — the bare default 80 % of non-DA production
+  apps run with (Figure 3b): cheap, but painfully slow;
+- **oracle** — the selection objective applied to each query's *true*
+  simulated curve (zero prediction error).
+
+Expected shape: right-sizing wins on *both* axes against the
+over-provisioned default — lower dollar cost at equal-or-better tail
+latency — and stays close to the oracle; the pool is never overcommitted
+at any instant.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AutoExecutor, Workload
+from repro.engine.cluster import Cluster
+from repro.export.format import save_parameter_model
+from repro.export.runtime import PortableModelRuntime, PortablePPMScorer
+from repro.fleet import (
+    FleetEngine,
+    PredictionService,
+    oracle_allocator,
+    poisson_arrivals,
+    static_allocator,
+)
+
+QUERY_IDS = tuple(
+    f"q{i}"
+    for i in (1, 2, 3, 5, 6, 7, 8, 9, 10, 12, 13, 15, 17, 19, 21, 25,
+              27, 40, 46, 52, 64, 72, 82, 94)
+)
+N_QUERIES = 120
+CAPACITY = 160
+RATES = (0.2, 0.5, 1.0)
+STATIC_DEFAULT = 32
+
+
+@pytest.fixture(scope="module")
+def fleet_setup(tmp_path_factory):
+    workload = Workload(scale_factor=50, query_ids=QUERY_IDS)
+    cluster = Cluster()
+    system = AutoExecutor(family="power_law").train(workload, cluster)
+
+    # Deploy through the portable runtime, as the paper's optimizer does.
+    registry = tmp_path_factory.mktemp("registry")
+    save_parameter_model(system.model, registry / "ppm.json")
+    scorer = PortablePPMScorer(PortableModelRuntime(registry), "ppm")
+    service = PredictionService(scorer, n_grid=system.n_grid)
+    oracle = oracle_allocator(workload)
+    return workload, service, oracle
+
+
+def test_fleet_concurrency(fleet_setup, report, benchmark):
+    workload, service, oracle = fleet_setup
+    strategies = [
+        ("autoexec", service.allocate),
+        (f"SA({STATIC_DEFAULT})", static_allocator(STATIC_DEFAULT)),
+        ("SA(2)", static_allocator(2)),
+        ("oracle", oracle),
+    ]
+
+    results: dict[tuple[float, str], object] = {}
+    for rate in RATES:
+        arrivals = poisson_arrivals(
+            QUERY_IDS, n_queries=N_QUERIES, rate_qps=rate, seed=7
+        )
+        for name, allocator in strategies:
+            engine = FleetEngine(
+                workload, capacity=CAPACITY, allocator=allocator
+            )
+            results[(rate, name)] = engine.serve(arrivals)
+
+    lines = [
+        f"Fleet serving — {N_QUERIES} concurrent queries, pool of "
+        f"{CAPACITY} executors, Poisson arrivals",
+        f"{'rate':>6} {'strategy':>9} {'p50':>8} {'p95':>8} {'p99':>8} "
+        f"{'queue':>8} {'util':>6} {'peak':>5} {'cost':>8}",
+    ]
+    for rate in RATES:
+        for name, _ in strategies:
+            m = results[(rate, name)]
+            s = m.summary()
+            lines.append(
+                f"{rate:>6.1f} {name:>9} {s['p50_latency_s']:>8.1f} "
+                f"{s['p95_latency_s']:>8.1f} {s['p99_latency_s']:>8.1f} "
+                f"{s['mean_queue_delay_s']:>8.1f} {s['utilization']:>6.0%} "
+                f"{m.peak_pool_usage:>5.0f} ${s['total_dollar_cost']:>7.2f}"
+            )
+    lines.append(
+        f"prediction service: cache {service.cache_size} entries, "
+        f"{service.hits} hits / {service.misses} misses, mean selection "
+        f"overhead {1e3 * service.mean_overhead_seconds():.2f} ms"
+    )
+    report("fleet_concurrency", "\n".join(lines))
+
+    # The pool is never overcommitted, at any rate, under any strategy.
+    for m in results.values():
+        assert m.capacity_respected
+        assert m.n_queries == N_QUERIES
+
+    for rate in RATES:
+        auto = results[(rate, "autoexec")]
+        static = results[(rate, f"SA({STATIC_DEFAULT})")]
+        spark_default = results[(rate, "SA(2)")]
+        best = results[(rate, "oracle")]
+        # The headline: lower total cost than the static default at
+        # equal-or-better tail latency.
+        assert auto.total_dollar_cost < static.total_dollar_cost
+        assert auto.p95_latency <= static.p95_latency
+        # Against the bare Spark default, right-sizing buys tail latency
+        # (dramatically so at the p99 straggler tail).
+        assert auto.p95_latency < spark_default.p95_latency
+        assert auto.p99_latency < spark_default.p99_latency
+        # And predictions land near the perfect-knowledge bound.
+        assert auto.total_dollar_cost < 1.5 * best.total_dollar_cost
+
+    # Under load, recurring plans hit the memo cache, so selection stays
+    # far below the per-query optimization budget (Section 5.6).
+    assert service.hits > 0
+    assert service.mean_overhead_seconds() < 0.1
+
+    # Queueing delay grows with the arrival rate (the fleet actually
+    # contends) for the static default.
+    delays = [
+        results[(rate, f"SA({STATIC_DEFAULT})")].mean_queue_delay
+        for rate in RATES
+    ]
+    assert delays[0] < delays[-1]
+
+    # Timed kernel: one fleet run at the middle rate.
+    arrivals = poisson_arrivals(
+        QUERY_IDS, n_queries=N_QUERIES, rate_qps=0.5, seed=7
+    )
+    engine = FleetEngine(
+        workload, capacity=CAPACITY, allocator=service.allocate
+    )
+    benchmark(lambda: engine.serve(arrivals).total_executor_seconds)
+
+
+def test_fleet_fair_share_vs_fifo(fleet_setup, report):
+    """Fair-share admission recovers capacity FIFO strands behind big
+    requests: same stream, same budgets, better queueing."""
+    from repro.fleet import FairShareAdmission
+
+    workload, service, _ = fleet_setup
+    arrivals = poisson_arrivals(
+        QUERY_IDS, n_queries=N_QUERIES, rate_qps=1.0, n_apps=6, seed=13
+    )
+    mixed = {
+        qid: (4 if i % 3 else 40)
+        for i, qid in enumerate(QUERY_IDS)
+    }
+
+    def allocator(query_id, plan):
+        return mixed[query_id]
+
+    fifo = FleetEngine(
+        workload, capacity=CAPACITY, allocator=allocator
+    ).serve(arrivals)
+    fair = FleetEngine(
+        workload,
+        capacity=CAPACITY,
+        allocator=allocator,
+        admission=FairShareAdmission(),
+    ).serve(arrivals)
+
+    report(
+        "fleet_fair_share",
+        "Fair-share vs FIFO admission (mixed 4/40-executor budgets, "
+        "rate 1.0 q/s)\n"
+        f"  FIFO:       mean queue {fifo.mean_queue_delay:8.1f} s, "
+        f"p95 latency {fifo.p95_latency:8.1f} s\n"
+        f"  fair-share: mean queue {fair.mean_queue_delay:8.1f} s, "
+        f"p95 latency {fair.p95_latency:8.1f} s",
+    )
+    assert fifo.capacity_respected and fair.capacity_respected
+    assert fair.mean_queue_delay <= fifo.mean_queue_delay
+    assert np.median(
+        [r.queue_delay for r in fair.records]
+    ) <= np.median([r.queue_delay for r in fifo.records])

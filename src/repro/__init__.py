@@ -18,6 +18,10 @@ every substrate the paper's evaluation needs:
   permutation importance (the scikit-learn substitute);
 - :mod:`repro.export` — a portable model format + runtime (the ONNX
   substitute);
+- :mod:`repro.fleet` — a shared serverless pool serving a stream of
+  concurrent queries: arrival processes, admission control over finite
+  capacity, a multi-query fleet engine, and an online prediction service
+  with a plan-signature cache;
 - :mod:`repro.experiments` — the harness behind the paper's figures.
 
 Quickstart::
@@ -31,9 +35,11 @@ Quickstart::
 
 from repro.core.autoexecutor import AutoExecutor, AutoExecutorRule
 from repro.core.ppm import AmdahlPPM, PowerLawPPM
+from repro.fleet.engine import FleetEngine
+from repro.fleet.prediction import PredictionService
 from repro.workloads.generator import Workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AutoExecutor",
@@ -41,5 +47,7 @@ __all__ = [
     "PowerLawPPM",
     "AmdahlPPM",
     "Workload",
+    "FleetEngine",
+    "PredictionService",
     "__version__",
 ]

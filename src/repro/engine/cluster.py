@@ -11,13 +11,58 @@ results and are modeled here:
   measures ~20–30 s before a Rule request for 25–48 executors is fully
   allocated (Section 5.4, Figure 12) — so short queries may finish before
   their full allocation lands.
+
+Grants are mediated by a :class:`CapacitySource`: the dedicated-cluster
+default (:data:`UNBOUNDED`) honours every clamped request, while a shared
+serverless pool (``repro.fleet``'s capacity arbiter) may grant fewer —
+whatever fits in the pool at that instant.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
-__all__ = ["NodeSpec", "ExecutorSpec", "Cluster"]
+__all__ = [
+    "NodeSpec",
+    "ExecutorSpec",
+    "Cluster",
+    "CapacitySource",
+    "UnboundedCapacity",
+    "UNBOUNDED",
+]
+
+
+@runtime_checkable
+class CapacitySource(Protocol):
+    """Where executor grants come from.
+
+    A dedicated cluster grants everything (:class:`UnboundedCapacity`);
+    a shared pool grants whatever capacity is currently uncommitted and
+    expects it back via :meth:`release`.
+    """
+
+    def acquire(self, count: int) -> int:
+        """Grant up to ``count`` executors; returns the number granted."""
+        ...  # pragma: no cover
+
+    def release(self, count: int) -> None:
+        """Return ``count`` previously acquired executors."""
+        ...  # pragma: no cover
+
+
+class UnboundedCapacity:
+    """Dedicated-cluster semantics: every request is granted in full."""
+
+    def acquire(self, count: int) -> int:
+        return max(0, int(count))
+
+    def release(self, count: int) -> None:
+        return None
+
+
+#: Shared default source — stateless, so one instance serves everyone.
+UNBOUNDED = UnboundedCapacity()
 
 
 @dataclass(frozen=True)
@@ -111,9 +156,33 @@ class Cluster:
         ``grant_interval`` seconds — reproducing the gradual ~20–30 s ramp
         the paper measures for 25–48-executor requests.
         """
-        count = self.clamp_request(count)
+        return self.grant_schedule(request_time, self.clamp_request(count))
+
+    def grant_schedule(self, request_time: float, count: int) -> list[float]:
+        """The batch-ramp arrival schedule for exactly ``count`` executors.
+
+        Unlike :meth:`grant_times` this does not clamp: the caller (a
+        :class:`CapacitySource`) has already decided how many executors
+        are actually granted.
+        """
         times: list[float] = []
-        for i in range(count):
+        for i in range(max(0, int(count))):
             batch = i // self.grant_batch
             times.append(request_time + self.base_grant_lag + batch * self.grant_interval)
         return times
+
+    def provision(
+        self,
+        request_time: float,
+        count: int,
+        source: CapacitySource = UNBOUNDED,
+    ) -> list[float]:
+        """Request ``count`` executors through a capacity source.
+
+        The request is clamped to pool shape, then offered to ``source``;
+        only what the source grants is scheduled.  Returns the arrival
+        times of the granted executors (possibly fewer than requested —
+        requests are non-binding, Section 4.5).
+        """
+        granted = source.acquire(self.clamp_request(count))
+        return self.grant_schedule(request_time, granted)

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.engine.allocation import AllocationPolicy, AllocationState
-from repro.engine.cluster import Cluster
+from repro.engine.cluster import UNBOUNDED, CapacitySource, Cluster
 from repro.engine.skyline import Skyline
 from repro.engine.stages import StageGraph
 from repro.sparklens.log import ExecutionLog, StageLog
@@ -134,6 +134,7 @@ def simulate_query(
     cluster: Cluster,
     config: SchedulerConfig = DEFAULT_SCHEDULER_CONFIG,
     record_log: bool = False,
+    capacity_source: CapacitySource = UNBOUNDED,
 ) -> SimulationResult:
     """Simulate one query run under an allocation policy.
 
@@ -144,6 +145,11 @@ def simulate_query(
         config: scheduler physics.
         record_log: capture an :class:`~repro.sparklens.log.ExecutionLog`
             of observed task durations for post-hoc analysis.
+        capacity_source: where executor grants come from — the dedicated
+            cluster default grants every clamped request; a shared-pool
+            arbiter (``repro.fleet``) may grant fewer.  Everything
+            acquired is released back when the query finishes or sheds
+            idle executors.
 
     Returns:
         A :class:`SimulationResult`.
@@ -174,6 +180,7 @@ def simulate_query(
         nonlocal granted_total
         del executors[eid]
         granted_total -= 1
+        capacity_source.release(1)
         skyline.record(now, len(executors))
 
     # --- stages ----------------------------------------------------------
@@ -241,36 +248,43 @@ def simulate_query(
         )
         target = cluster.clamp_request(policy.desired_target(state))
         if target > granted_total:
-            extra = target - granted_total
-            for t in cluster.grant_times(now, extra):
+            times = cluster.provision(
+                now, target - granted_total, capacity_source
+            )
+            for t in times:
                 push(t, "exec_arrive")
-            outstanding += extra
-            granted_total += extra
+            outstanding += len(times)
+            granted_total += len(times)
 
     def check_idle(now: float) -> None:
         timeout = policy.idle_timeout
-        if timeout is None:
+        # Keep executors if there is still work for them to pick up, or if
+        # the fleet is already at the policy floor — both are the common
+        # case, so bail before scanning the fleet.
+        if (
+            timeout is None
+            or pending_count() > 0
+            or len(executors) <= policy.min_executors
+        ):
             return
-        removable = [
-            e
-            for e in executors.values()
-            if e.free_cores == e.cores
-            and e.idle_since is not None
-            and now - e.idle_since >= timeout
-        ]
-        if not removable:
-            return
-        # Keep executors if there is still work for them to pick up.
-        if pending_count() > 0:
-            return
-        removable.sort(key=lambda e: e.idle_since or 0.0)
-        for executor in removable:
+        removable = sorted(
+            (
+                (e.idle_since, e.executor_id)
+                for e in executors.values()
+                if e.free_cores == e.cores
+                and e.idle_since is not None
+                and now - e.idle_since >= timeout
+            ),
+        )
+        for _, eid in removable:
             if len(executors) <= policy.min_executors:
                 break
-            remove_executor(now, executor.executor_id)
+            remove_executor(now, eid)
 
     # --- bootstrap ---------------------------------------------------------
-    initial = cluster.clamp_request(policy.initial_executors)
+    initial = capacity_source.acquire(
+        cluster.clamp_request(policy.initial_executors)
+    )
     for _ in range(initial):
         add_executor(0.0)
     granted_total = initial
@@ -281,7 +295,6 @@ def simulate_query(
     poll_policy(0.0)
 
     end_time: float | None = None
-    requested_final = initial
 
     # --- main loop -----------------------------------------------------------
     while events:
@@ -318,7 +331,6 @@ def simulate_query(
             check_idle(now)
             push(now + config.tick_interval, "tick")
         poll_policy(now)
-        requested_final = granted_total + 0
         # Stall guard: work is waiting but nothing can ever run it — the
         # policy refuses executors and none are on the way.  Without this
         # the tick chain would spin forever.
@@ -339,6 +351,10 @@ def simulate_query(
             "simulation ended without completing the query (policy never "
             "provided executors?)"
         )
+
+    # Hand everything provisioned — arrived or still in flight — back to
+    # the capacity source now that the query is done.
+    capacity_source.release(granted_total)
 
     log = None
     if record_log:

@@ -161,9 +161,7 @@ class PortablePPMScorer:
         self.runtime = runtime
         self.name = name
 
-    def predict_ppm(self, features) -> PricePerfModel:
-        vector = getattr(features, "values", features)
-        raw = self.runtime.predict(self.name, np.asarray(vector, dtype=float))
+    def _family(self) -> type[PricePerfModel]:
         metadata = self.runtime.load(self.name).metadata
         family = metadata.get("family")
         if family not in _FAMILIES:
@@ -171,11 +169,35 @@ class PortablePPMScorer:
                 f"model {self.name!r} metadata lacks a valid PPM family "
                 f"(got {family!r})"
             )
-        params = np.array(raw, dtype=float)
-        log_mask = metadata.get("log_params", [False] * params.size)
+        return _FAMILIES[family]
+
+    def _untransform(self, params: np.ndarray) -> np.ndarray:
+        """Undo the training pipeline's log-space target transform."""
+        metadata = self.runtime.load(self.name).metadata
+        log_mask = metadata.get("log_params", [False] * params.shape[-1])
         for col, use_log in enumerate(log_mask):
             if use_log:
-                params[col] = max(
-                    float(np.exp(params[col])) - self._LOG_EPSILON, 0.0
+                params[..., col] = np.maximum(
+                    np.exp(params[..., col]) - self._LOG_EPSILON, 0.0
                 )
-        return _FAMILIES[family].from_parameters(params)
+        return params
+
+    def predict_ppm(self, features) -> PricePerfModel:
+        vector = getattr(features, "values", features)
+        raw = self.runtime.predict(self.name, np.asarray(vector, dtype=float))
+        family = self._family()
+        params = self._untransform(np.array(raw, dtype=float))
+        return family.from_parameters(params)
+
+    def predict_ppm_batch(self, features_matrix) -> list[PricePerfModel]:
+        """Score a whole batch of feature rows in one runtime call.
+
+        One inference dispatch covers every row (the batching the paper's
+        in-optimizer ONNX runtime relies on); the result is one PPM per
+        row, identical to calling :meth:`predict_ppm` row by row.
+        """
+        matrix = np.atleast_2d(np.asarray(features_matrix, dtype=float))
+        raw = self.runtime.predict(self.name, matrix)
+        family = self._family()
+        params = self._untransform(np.array(raw, dtype=float))
+        return [family.from_parameters(row) for row in params]

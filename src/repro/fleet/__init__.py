@@ -1,0 +1,73 @@
+"""Fleet: concurrent multi-query serving on a shared serverless pool.
+
+The paper's production setting (Section 2) is not one query on a dedicated
+cluster — it is a *shared pool* serving a stream of concurrent queries,
+where every executor granted to one query is an executor another query
+cannot have.  This subpackage simulates that setting end to end:
+
+- :mod:`~repro.fleet.arrivals` — query arrival processes: Poisson streams
+  and replays of the :mod:`repro.workloads.production` telemetry trace;
+- :mod:`~repro.fleet.admission` — the capacity arbiter: per-query executor
+  budgets granted out of a finite pool, with FIFO and fair-share queueing;
+- :mod:`~repro.fleet.engine` — the fleet engine: many query runs
+  multiplexed on one discrete-event clock, each executing its stage DAG on
+  its granted share of the pool;
+- :mod:`~repro.fleet.prediction` — the online prediction service: a
+  trained AutoExecutor behind a plan-signature memo cache with batched
+  portable-runtime inference, so per-query selection overhead is measured
+  rather than assumed;
+- :mod:`~repro.fleet.metrics` — fleet-level serving metrics: latency
+  percentiles, queueing delay, pool utilization, and dollar cost.
+
+Quickstart::
+
+    from repro import AutoExecutor, Workload
+    from repro.fleet import (
+        FleetEngine, PredictionService, poisson_arrivals
+    )
+
+    workload = Workload(scale_factor=50)
+    system = AutoExecutor().train(workload)
+    service = PredictionService.from_autoexecutor(system)
+    engine = FleetEngine(workload, capacity=128, allocator=service.allocate)
+    metrics = engine.serve(
+        poisson_arrivals(workload.query_ids, n_queries=200, rate_qps=0.5)
+    )
+    print(metrics.describe())
+"""
+
+from repro.fleet.admission import (
+    AdmissionRequest,
+    CapacityArbiter,
+    FairShareAdmission,
+    FIFOAdmission,
+    PoolShare,
+)
+from repro.fleet.arrivals import QueryArrival, poisson_arrivals, trace_arrivals
+from repro.fleet.engine import (
+    FleetConfig,
+    FleetEngine,
+    oracle_allocator,
+    static_allocator,
+)
+from repro.fleet.metrics import FleetMetrics, QueryRecord
+from repro.fleet.prediction import Prediction, PredictionService
+
+__all__ = [
+    "QueryArrival",
+    "poisson_arrivals",
+    "trace_arrivals",
+    "AdmissionRequest",
+    "FIFOAdmission",
+    "FairShareAdmission",
+    "CapacityArbiter",
+    "PoolShare",
+    "FleetEngine",
+    "FleetConfig",
+    "static_allocator",
+    "oracle_allocator",
+    "FleetMetrics",
+    "QueryRecord",
+    "Prediction",
+    "PredictionService",
+]

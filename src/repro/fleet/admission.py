@@ -1,0 +1,264 @@
+"""Admission control: finite pool capacity, queueing, arbitration.
+
+The shared pool holds a fixed number of executors.  Every query asks the
+:class:`CapacityArbiter` for a budget before it may start; when the pool
+cannot cover the budget the request queues.  Which queued request goes
+next is the admission policy's call:
+
+- :class:`FIFOAdmission` — strict arrival order with head-of-line
+  blocking: a large request at the head makes everyone behind it wait,
+  even if they would fit (the behaviour of a naive job queue).
+- :class:`FairShareAdmission` — among the requests that fit *right now*,
+  grant the one whose application currently holds the least capacity
+  (ties broken by arrival order).  Small tenants are not starved by big
+  bursty ones, and capacity that would sit idle under FIFO gets used.
+
+The arbiter also exposes per-query :class:`PoolShare` adapters that
+implement :class:`repro.engine.cluster.CapacitySource`, so a single
+``simulate_query`` run can draw its executors straight from the shared
+pool instead of an infinite one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Protocol, Sequence
+
+__all__ = [
+    "AdmissionRequest",
+    "AdmissionPolicy",
+    "FIFOAdmission",
+    "FairShareAdmission",
+    "CapacityArbiter",
+    "PoolShare",
+]
+
+
+@dataclass(frozen=True)
+class AdmissionRequest:
+    """A query's ask: an executor budget out of the shared pool.
+
+    Attributes:
+        query_index: the requesting query (fleet stream index).
+        app_id: owning application (the fair-share unit).
+        executors: budget requested — granted atomically or not at all.
+        submit_time: fleet-clock time the request entered the queue.
+    """
+
+    query_index: int
+    app_id: int
+    executors: int
+    submit_time: float
+
+    def __post_init__(self) -> None:
+        if self.executors < 1:
+            raise ValueError("admission requests need at least 1 executor")
+
+
+class AdmissionPolicy(Protocol):
+    """Chooses which queued request (if any) is admitted next."""
+
+    name: str
+
+    def pick(
+        self,
+        queue: Sequence[AdmissionRequest],
+        free: int,
+        app_usage: Mapping[int, int],
+    ) -> int | None:
+        """Return the queue position to admit, or ``None`` to wait.
+
+        Args:
+            queue: pending requests in arrival order.
+            free: uncommitted pool capacity (executors).
+            app_usage: currently granted executors per application.
+        """
+        ...  # pragma: no cover
+
+
+class FIFOAdmission:
+    """Strict arrival order; the head of the line blocks everyone."""
+
+    name = "fifo"
+
+    def pick(
+        self,
+        queue: Sequence[AdmissionRequest],
+        free: int,
+        app_usage: Mapping[int, int],
+    ) -> int | None:
+        if queue and queue[0].executors <= free:
+            return 0
+        return None
+
+
+class FairShareAdmission:
+    """Least-loaded application first, among the requests that fit."""
+
+    name = "fair_share"
+
+    def pick(
+        self,
+        queue: Sequence[AdmissionRequest],
+        free: int,
+        app_usage: Mapping[int, int],
+    ) -> int | None:
+        best: int | None = None
+        best_usage = -1
+        for pos, request in enumerate(queue):
+            if request.executors > free:
+                continue
+            usage = app_usage.get(request.app_id, 0)
+            if best is None or usage < best_usage:
+                best, best_usage = pos, usage
+        return best
+
+
+class CapacityArbiter:
+    """Grants per-query executor budgets out of a finite pool.
+
+    The invariant the whole fleet rests on: the sum of outstanding grants
+    never exceeds ``capacity``.  Grants are atomic (a query starts with
+    its full budget reserved, though executors still *arrive* gradually
+    per the cluster's provisioning lag) and are returned piecemeal — idle
+    releases hand back single executors, completion hands back the rest.
+
+    Args:
+        capacity: pool size in executors.
+        policy: admission policy; defaults to FIFO.
+    """
+
+    def __init__(
+        self, capacity: int, policy: AdmissionPolicy | None = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("pool capacity must be at least 1 executor")
+        self.capacity = int(capacity)
+        self.policy: AdmissionPolicy = policy if policy is not None else FIFOAdmission()
+        self._queue: list[AdmissionRequest] = []
+        self._granted: dict[int, int] = {}
+        self._app_of: dict[int, int] = {}
+        self._app_usage: dict[int, int] = {}
+        self.in_use = 0
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def granted_to(self, query_index: int) -> int:
+        """Executors currently reserved for a query."""
+        return self._granted.get(query_index, 0)
+
+    def app_usage(self, app_id: int) -> int:
+        """Executors currently reserved across an application's queries."""
+        return self._app_usage.get(app_id, 0)
+
+    def submit(self, request: AdmissionRequest) -> None:
+        """Queue a budget request (admission happens in :meth:`admit`)."""
+        if request.executors > self.capacity:
+            raise ValueError(
+                f"request for {request.executors} executors can never be "
+                f"admitted to a pool of {self.capacity}"
+            )
+        if request.query_index in self._granted:
+            raise ValueError(
+                f"query {request.query_index} already holds a grant"
+            )
+        self._queue.append(request)
+
+    def admit(self) -> list[AdmissionRequest]:
+        """Admit queued requests while the policy finds one that fits."""
+        admitted: list[AdmissionRequest] = []
+        while self._queue:
+            pos = self.policy.pick(self._queue, self.free, self._app_usage)
+            if pos is None:
+                break
+            request = self._queue.pop(pos)
+            self._grant(request.query_index, request.app_id, request.executors)
+            admitted.append(request)
+        return admitted
+
+    def _grant(self, query_index: int, app_id: int, count: int) -> None:
+        if count > self.free:
+            raise RuntimeError(
+                "admission policy granted beyond pool capacity"
+            )
+        self.in_use += count
+        self._granted[query_index] = self._granted.get(query_index, 0) + count
+        self._app_of[query_index] = app_id
+        self._app_usage[app_id] = self._app_usage.get(app_id, 0) + count
+
+    def try_acquire(self, query_index: int, app_id: int, count: int) -> int:
+        """Immediately grant up to ``count`` executors, bypassing the queue.
+
+        This is the incremental path :class:`PoolShare` uses for single
+        query runs; the fleet engine itself always reserves atomically
+        through :meth:`submit`/:meth:`admit`.
+        """
+        granted = max(0, min(int(count), self.free))
+        if granted:
+            self._grant(query_index, app_id, granted)
+        return granted
+
+    def release(self, query_index: int, count: int | None = None) -> int:
+        """Return executors from a query's grant back to the pool.
+
+        Args:
+            query_index: the grant to shrink.
+            count: executors to return; ``None`` returns the whole grant.
+
+        Returns:
+            The number of executors actually returned.
+        """
+        held = self._granted.get(query_index, 0)
+        count = held if count is None else int(count)
+        if count > held:
+            raise ValueError(
+                f"query {query_index} holds {held} executors, cannot "
+                f"release {count}"
+            )
+        if count <= 0:
+            return 0
+        self.in_use -= count
+        app_id = self._app_of[query_index]
+        self._app_usage[app_id] -= count
+        remaining = held - count
+        if remaining:
+            self._granted[query_index] = remaining
+        else:
+            del self._granted[query_index]
+            del self._app_of[query_index]
+            if self._app_usage[app_id] == 0:
+                del self._app_usage[app_id]
+        return count
+
+    def share(self, query_index: int, app_id: int = 0) -> "PoolShare":
+        """A :class:`~repro.engine.cluster.CapacitySource` view of the pool
+        for one query, usable directly with ``simulate_query``."""
+        return PoolShare(self, query_index, app_id)
+
+
+class PoolShare:
+    """Per-query capacity-source adapter over a :class:`CapacityArbiter`.
+
+    Passing ``arbiter.share(q)`` as ``simulate_query``'s
+    ``capacity_source`` makes that run draw (and return) its executors
+    from the shared pool: grants shrink to what the pool can spare.
+    """
+
+    def __init__(
+        self, arbiter: CapacityArbiter, query_index: int, app_id: int
+    ) -> None:
+        self.arbiter = arbiter
+        self.query_index = query_index
+        self.app_id = app_id
+
+    def acquire(self, count: int) -> int:
+        return self.arbiter.try_acquire(self.query_index, self.app_id, count)
+
+    def release(self, count: int) -> None:
+        self.arbiter.release(self.query_index, count)

@@ -1,0 +1,477 @@
+"""The fleet engine: many concurrent query runs on one shared clock.
+
+``repro.engine.scheduler.simulate_query`` plays out *one* query on a
+dedicated cluster.  The fleet engine multiplexes a whole arrival stream:
+each admitted query executes its stage DAG — waves of tasks, provisioning
+lag, memory-pressure and coordination physics, idle releases — on the
+executor budget the capacity arbiter granted it, and every grant and
+release moves shared pool state that decides when the *next* queued query
+may start.
+
+The design mirrors the single-query scheduler (the same event kinds, the
+same task-wave assignment, the same spill/coordination factors applied to
+each query's own fleet) so that a fleet of one query on an uncontended
+pool behaves like ``simulate_query`` — but all queries share one event
+heap and one :class:`~repro.fleet.admission.CapacityArbiter`.
+
+Allocators decide each query's budget.  Three are provided: a
+:func:`static_allocator` (the default-configuration baseline), the online
+:class:`~repro.fleet.prediction.PredictionService` (AutoExecutor), and an
+:func:`oracle_allocator` that probes the simulator itself for the
+cheapest near-optimal count (the upper bound predictions chase).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.engine.cluster import Cluster
+from repro.engine.scheduler import (
+    DEFAULT_SCHEDULER_CONFIG,
+    SchedulerConfig,
+    _coordination_factor,
+    _pack,
+    _spill_factor,
+    _unpack,
+    simulate_query,
+)
+from repro.engine.skyline import Skyline
+from repro.engine.stages import StageGraph
+from repro.fleet.admission import (
+    AdmissionPolicy,
+    AdmissionRequest,
+    CapacityArbiter,
+)
+from repro.fleet.arrivals import QueryArrival
+from repro.fleet.metrics import FleetMetrics, QueryRecord
+from repro.workloads.generator import Workload
+
+__all__ = [
+    "FleetConfig",
+    "FleetEngine",
+    "static_allocator",
+    "oracle_allocator",
+]
+
+#: An allocator maps (query_id, optimized plan) to an executor budget —
+#: either a plain int or a :class:`repro.fleet.prediction.Prediction`.
+Allocator = Callable[[str, object], object]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet-engine knobs.
+
+    Attributes:
+        scheduler: per-query physics (same knobs as ``simulate_query``).
+        tick_interval: idle-check polling period.
+        idle_release_timeout: seconds of executor idleness before it is
+            returned to the pool mid-query (``None`` holds budgets until
+            completion).
+        min_executors_per_query: floor idle release never shrinks below —
+            a started query must be able to finish.
+        charge_prediction_overhead: add the allocator's measured selection
+            seconds to the query's pre-admission latency (Section 5.6's
+            overheads, paid where they occur: on the critical path).
+    """
+
+    scheduler: SchedulerConfig = DEFAULT_SCHEDULER_CONFIG
+    tick_interval: float = 1.0
+    idle_release_timeout: float | None = 30.0
+    min_executors_per_query: int = 1
+    charge_prediction_overhead: bool = True
+
+
+@dataclass
+class _Executor:
+    free_cores: int
+    cores: int
+    idle_since: float | None
+
+
+@dataclass
+class _StageState:
+    remaining_deps: int
+    remaining_tasks: int
+    emitted: bool = False
+
+
+@dataclass
+class _QueryRun:
+    """Mutable per-query execution state inside the fleet."""
+
+    arrival: QueryArrival
+    graph: StageGraph
+    budget: int
+    admit_time: float
+    prediction_cached: bool | None
+    prediction_seconds: float
+    executors: dict[int, _Executor] = field(default_factory=dict)
+    next_eid: int = 0
+    outstanding: int = 0
+    pending: list[tuple[int, int]] = field(default_factory=list)
+    pending_head: int = 0
+    running: int = 0
+    stages_left: int = 0
+    driver_done: bool = False
+    finished: bool = False
+    skyline: Skyline = field(default_factory=Skyline)
+    states: dict[int, _StageState] = field(default_factory=dict)
+    durations: dict[int, np.ndarray] = field(default_factory=dict)
+    dependents: dict[int, list[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.stages_left = len(self.graph.stages)
+        self.dependents = {s.stage_id: [] for s in self.graph.stages}
+        for stage in self.graph.stages:
+            self.states[stage.stage_id] = _StageState(
+                remaining_deps=len(stage.dependencies),
+                remaining_tasks=stage.num_tasks,
+            )
+            self.durations[stage.stage_id] = stage.task_durations()
+            for dep in stage.dependencies:
+                self.dependents[dep].append(stage.stage_id)
+
+    def pending_count(self) -> int:
+        return len(self.pending) - self.pending_head
+
+    def emit_ready(self, stage_id: int) -> None:
+        state = self.states[stage_id]
+        if state.emitted or state.remaining_deps > 0:
+            return
+        state.emitted = True
+        for task_idx in range(self.graph.stages[stage_id].num_tasks):
+            self.pending.append((stage_id, task_idx))
+
+
+class FleetEngine:
+    """Serve an arrival stream through a shared executor pool.
+
+    Args:
+        workload: supplies plans and compiled stage graphs per query id.
+        capacity: pool size in executors — the arbiter's hard budget.
+        allocator: per-query executor-budget decision (see module docs).
+        cluster: node/executor shapes and provisioning lag.  Only the
+            executor shape and grant ramp are used; pool *capacity* is
+            this engine's ``capacity``, not ``cluster.max_executors``.
+        admission: queueing policy (default FIFO).
+        config: fleet knobs.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        capacity: int,
+        allocator: Allocator,
+        cluster: Cluster = Cluster(),
+        admission: AdmissionPolicy | None = None,
+        config: FleetConfig = FleetConfig(),
+    ) -> None:
+        self.workload = workload
+        self.capacity = int(capacity)
+        self.allocator = allocator
+        self.cluster = cluster
+        self.admission = admission
+        self.config = config
+
+    def serve(self, arrivals: Sequence[QueryArrival]) -> FleetMetrics:
+        """Play out the whole stream; returns the fleet's metrics."""
+        if not arrivals:
+            raise ValueError("cannot serve an empty arrival stream")
+        arbiter = CapacityArbiter(self.capacity, self.admission)
+        pool_skyline = Skyline()
+        pool_skyline.record(0.0, 0)
+        config = self.config
+        ec = self.cluster.cores_per_executor
+
+        counter = itertools.count()
+        events: list[tuple[float, int, str, int, int]] = []
+
+        def push(time: float, kind: str, a: int = 0, b: int = 0) -> None:
+            heapq.heappush(events, (time, next(counter), kind, a, b))
+
+        by_index = {a.index: a for a in arrivals}
+        if len(by_index) != len(arrivals):
+            raise ValueError("arrival stream has duplicate indices")
+        runs: dict[int, _QueryRun] = {}
+        requests: dict[int, AdmissionRequest] = {}
+        decisions: dict[int, tuple[int, bool | None, float]] = {}
+        records: dict[int, QueryRecord] = {}
+        unfinished = len(arrivals)
+
+        def record_pool(now: float) -> None:
+            pool_skyline.record(now, arbiter.in_use)
+
+        # --- per-query execution ----------------------------------------
+        def assign(now: float, q: int) -> None:
+            run = runs[q]
+            if not run.driver_done or run.pending_count() == 0:
+                return
+            spill = _spill_factor(
+                run.graph, len(run.executors), self.cluster, config.scheduler
+            )
+            coord = _coordination_factor(len(run.executors), config.scheduler)
+            factor = spill * coord
+            for eid, executor in run.executors.items():
+                while executor.free_cores > 0 and run.pending_count() > 0:
+                    stage_id, task_idx = run.pending[run.pending_head]
+                    run.pending_head += 1
+                    executor.free_cores -= 1
+                    executor.idle_since = None
+                    duration = run.durations[stage_id][task_idx] * factor
+                    run.running += 1
+                    push(now + duration, "task_done", q, _pack(stage_id, eid))
+                if run.pending_count() == 0:
+                    break
+
+        def start_query(now: float, request: AdmissionRequest) -> None:
+            q = request.query_index
+            arrival = by_index[q]
+            graph = self.workload.stage_graph(arrival.query_id)
+            _, cached, pred_seconds = decisions[q]
+            run = _QueryRun(
+                arrival=arrival,
+                graph=graph,
+                budget=request.executors,
+                admit_time=now,
+                prediction_cached=cached,
+                prediction_seconds=pred_seconds,
+            )
+            run.outstanding = request.executors
+            runs[q] = run
+            push(now + graph.driver_seconds, "driver_done", q)
+            for t in self.cluster.grant_schedule(now, request.executors):
+                push(t, "exec_arrive", q)
+
+        def finish_query(now: float, q: int) -> None:
+            nonlocal unfinished
+            run = runs[q]
+            run.finished = True
+            unfinished -= 1
+            arrived = len(run.executors)
+            run.executors.clear()
+            run.skyline.record(now, 0)
+            if arrived:
+                arbiter.release(q, arrived)
+                record_pool(now)
+            records[q] = QueryRecord(
+                query_id=run.arrival.query_id,
+                app_id=run.arrival.app_id,
+                arrival_time=run.arrival.arrival_time,
+                admit_time=run.admit_time,
+                finish_time=now,
+                executors_granted=run.budget,
+                auc=run.skyline.auc(now),
+                prediction_cached=run.prediction_cached,
+                prediction_seconds=run.prediction_seconds,
+            )
+
+        def drain_admissions(now: float) -> None:
+            admitted = arbiter.admit()
+            if admitted:
+                record_pool(now)
+                for request in admitted:
+                    start_query(now, request)
+
+        def release_idle(now: float) -> None:
+            timeout = config.idle_release_timeout
+            if timeout is None:
+                return
+            floor = max(1, config.min_executors_per_query)
+            released = False
+            for q, run in runs.items():
+                if (
+                    run.finished
+                    or not run.driver_done
+                    or run.pending_count() > 0
+                    or len(run.executors) <= floor
+                ):
+                    continue
+                removable = sorted(
+                    (e.idle_since, eid)
+                    for eid, e in run.executors.items()
+                    if e.free_cores == e.cores
+                    and e.idle_since is not None
+                    and now - e.idle_since >= timeout
+                )
+                for _, eid in removable:
+                    if len(run.executors) <= floor:
+                        break
+                    del run.executors[eid]
+                    run.skyline.record(now, len(run.executors))
+                    arbiter.release(q, 1)
+                    released = True
+            if released:
+                record_pool(now)
+                drain_admissions(now)
+
+        # --- bootstrap ---------------------------------------------------
+        for i, arrival in enumerate(arrivals):
+            push(arrival.arrival_time, "arrive", i)
+        if config.idle_release_timeout is not None:
+            push(config.tick_interval, "tick")
+
+        # --- main loop ---------------------------------------------------
+        while events:
+            now, _, kind, a, b = heapq.heappop(events)
+            if kind == "arrive":
+                arrival = arrivals[a]
+                plan = self.workload.optimized_plan(arrival.query_id)
+                decision = self.allocator(arrival.query_id, plan)
+                if hasattr(decision, "executors"):
+                    budget = int(decision.executors)
+                    cached = decision.cached
+                    seconds = float(decision.seconds)
+                else:
+                    budget, cached, seconds = int(decision), None, 0.0
+                budget = max(1, min(budget, self.capacity))
+                decisions[arrival.index] = (budget, cached, seconds)
+                delay = (
+                    seconds if config.charge_prediction_overhead else 0.0
+                )
+                push(now + delay, "submit", arrival.index)
+            elif kind == "submit":
+                arrival = by_index[a]
+                budget, _, _ = decisions[a]
+                requests[a] = AdmissionRequest(
+                    query_index=a,
+                    app_id=arrival.app_id,
+                    executors=budget,
+                    submit_time=now,
+                )
+                arbiter.submit(requests[a])
+                drain_admissions(now)
+            elif kind == "driver_done":
+                run = runs[a]
+                run.driver_done = True
+                for stage in run.graph.stages:
+                    run.emit_ready(stage.stage_id)
+                assign(now, a)
+            elif kind == "exec_arrive":
+                run = runs[a]
+                run.outstanding -= 1
+                if run.finished:
+                    # The query beat its own provisioning ramp; hand the
+                    # late executor straight back to the pool.
+                    arbiter.release(a, 1)
+                    record_pool(now)
+                    drain_admissions(now)
+                else:
+                    eid = run.next_eid
+                    run.next_eid += 1
+                    run.executors[eid] = _Executor(
+                        free_cores=ec, cores=ec, idle_since=now
+                    )
+                    run.skyline.record(now, len(run.executors))
+                    assign(now, a)
+            elif kind == "task_done":
+                run = runs[a]
+                stage_id, eid = _unpack(b)
+                run.running -= 1
+                executor = run.executors.get(eid)
+                if executor is not None:
+                    executor.free_cores += 1
+                    if executor.free_cores == executor.cores:
+                        executor.idle_since = now
+                state = run.states[stage_id]
+                state.remaining_tasks -= 1
+                if state.remaining_tasks == 0:
+                    run.stages_left -= 1
+                    for dep_id in run.dependents[stage_id]:
+                        run.states[dep_id].remaining_deps -= 1
+                        run.emit_ready(dep_id)
+                if run.stages_left == 0:
+                    finish_query(now, a)
+                    drain_admissions(now)
+                else:
+                    assign(now, a)
+            elif kind == "tick":
+                release_idle(now)
+                if unfinished > 0:
+                    # Stall guard: the tick is the only event left, so no
+                    # run will ever release capacity again — queued
+                    # requests the policy refuses can never be admitted.
+                    # Without this check the tick chain would spin forever.
+                    if not events and arbiter.queue_length > 0:
+                        raise RuntimeError(
+                            f"admission stalled: {arbiter.queue_length} "
+                            "queued requests, an idle pool, and a policy "
+                            "that admits none of them"
+                        )
+                    push(now + config.tick_interval, "tick")
+
+        if unfinished > 0:
+            stuck = [q for q, r in runs.items() if not r.finished]
+            raise RuntimeError(
+                f"fleet run ended with {unfinished} unfinished queries "
+                f"(running: {stuck}, queued: {arbiter.queue_length})"
+            )
+
+        ordered = [records[a.index] for a in arrivals]
+        return FleetMetrics(
+            capacity=self.capacity,
+            cores_per_executor=ec,
+            records=ordered,
+            pool_skyline=pool_skyline,
+        )
+
+
+def static_allocator(n: int) -> Allocator:
+    """The fixed-budget baseline: every query gets ``n`` executors."""
+    if n < 1:
+        raise ValueError("static budgets need at least 1 executor")
+
+    def allocate(query_id: str, plan: object) -> int:
+        return n
+
+    return allocate
+
+
+def oracle_allocator(
+    workload: Workload,
+    cluster: Cluster = Cluster(),
+    candidates: Sequence[int] = (1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48),
+    objective: Callable[[np.ndarray, np.ndarray], int] | None = None,
+    config: SchedulerConfig = DEFAULT_SCHEDULER_CONFIG,
+) -> Allocator:
+    """The hindsight baseline: the selection objective applied to the
+    query's *true* run-time curve.
+
+    AutoExecutor applies an objective (default: the paper's elbow) to a
+    *predicted* ``t(n)``; the oracle measures the real curve by simulating
+    each candidate count on a dedicated cluster and applies the same
+    objective to it — perfect curve knowledge, zero prediction error.
+    Results are memoized per query id: the oracle is expensive by
+    construction and exists as the bound predictions are judged against.
+    """
+    from repro.core.selection import elbow_point
+    from repro.engine.allocation import StaticAllocation
+
+    if objective is None:
+        objective = elbow_point
+    usable = [n for n in candidates if 1 <= n <= cluster.max_executors]
+    if len(usable) < 2:
+        raise ValueError("need at least two usable candidate counts")
+    grid = np.asarray(usable)
+    cache: dict[str, int] = {}
+
+    def allocate(query_id: str, plan: object) -> int:
+        if query_id not in cache:
+            graph = workload.stage_graph(query_id)
+            curve = np.array(
+                [
+                    simulate_query(
+                        graph, StaticAllocation(n), cluster, config
+                    ).runtime
+                    for n in usable
+                ]
+            )
+            cache[query_id] = int(objective(grid, curve))
+        return cache[query_id]
+
+    return allocate

@@ -1,0 +1,216 @@
+"""Fleet-level serving metrics.
+
+Single-query experiments report run time and AUC; a shared pool serving a
+stream needs the serving-systems view on top: latency *distributions*
+(p50/p95/p99 — tail latency is what concurrency degrades first), queueing
+delay (time spent waiting for capacity, zero on an idle pool), pool
+utilization, and the total dollar cost of every executor-second held.
+
+Cost uses the paper's metric — total executor occupancy, ``∫ n_s ds`` —
+priced at the testbed's rate: Azure Synapse bills per vCore-hour, so a
+4-core executor accrues ``4 × $0.15`` per hour by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.skyline import Skyline
+
+__all__ = [
+    "DEFAULT_PRICE_PER_CORE_HOUR",
+    "QueryRecord",
+    "FleetMetrics",
+]
+
+#: Azure Synapse Spark pricing ballpark: $0.15 per vCore-hour.
+DEFAULT_PRICE_PER_CORE_HOUR = 0.15
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One served query's lifecycle on the fleet clock.
+
+    Attributes:
+        query_id: workload query that ran.
+        app_id: owning application.
+        arrival_time: when the query entered the system.
+        admit_time: when the arbiter granted its executor budget.
+        finish_time: when its last stage completed.
+        executors_granted: the admitted budget.
+        auc: executor occupancy of the run (executor-seconds actually
+            held, after provisioning lag and idle releases).
+        prediction_cached: whether the allocator's decision came from the
+            prediction memo cache (``None`` for non-predictive allocators).
+        prediction_seconds: measured selection overhead charged to the
+            query before admission.
+    """
+
+    query_id: str
+    app_id: int
+    arrival_time: float
+    admit_time: float
+    finish_time: float
+    executors_granted: int
+    auc: float
+    prediction_cached: bool | None = None
+    prediction_seconds: float = 0.0
+
+    @property
+    def latency(self) -> float:
+        """End-to-end seconds the user waited (arrival → finish)."""
+        return self.finish_time - self.arrival_time
+
+    @property
+    def queue_delay(self) -> float:
+        """Seconds spent waiting for capacity (arrival → admission)."""
+        return self.admit_time - self.arrival_time
+
+    @property
+    def run_seconds(self) -> float:
+        """Execution seconds once admitted (admission → finish)."""
+        return self.finish_time - self.admit_time
+
+
+@dataclass
+class FleetMetrics:
+    """Aggregate outcome of one fleet run.
+
+    Attributes:
+        capacity: pool size (executors).
+        cores_per_executor: executor width, for dollar pricing.
+        records: one :class:`QueryRecord` per served query, stream order.
+        pool_skyline: reserved-capacity step function over the run — the
+            arbiter's outstanding grants; its peak must never exceed
+            ``capacity``.
+        price_per_core_hour: billing rate for the dollar-cost metric.
+    """
+
+    capacity: int
+    cores_per_executor: int
+    records: list[QueryRecord] = field(default_factory=list)
+    pool_skyline: Skyline = field(default_factory=Skyline)
+    price_per_core_hour: float = DEFAULT_PRICE_PER_CORE_HOUR
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.records)
+
+    @property
+    def makespan(self) -> float:
+        """First arrival to last completion."""
+        if not self.records:
+            return 0.0
+        start = min(r.arrival_time for r in self.records)
+        end = max(r.finish_time for r in self.records)
+        return end - start
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th percentile of end-to-end query latency."""
+        if not self.records:
+            return 0.0
+        return float(
+            np.percentile([r.latency for r in self.records], q)
+        )
+
+    @property
+    def p50_latency(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p95_latency(self) -> float:
+        return self.latency_percentile(95)
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency_percentile(99)
+
+    @property
+    def mean_queue_delay(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.queue_delay for r in self.records]))
+
+    @property
+    def max_queue_delay(self) -> float:
+        if not self.records:
+            return 0.0
+        return max(r.queue_delay for r in self.records)
+
+    @property
+    def peak_pool_usage(self) -> int:
+        """Most executors ever reserved at one instant."""
+        return self.pool_skyline.max_executors
+
+    @property
+    def capacity_respected(self) -> bool:
+        """The fleet's core invariant: grants never exceeded the pool."""
+        return self.peak_pool_usage <= self.capacity
+
+    @property
+    def total_executor_seconds(self) -> float:
+        """Summed executor occupancy across all queries (the paper's AUC
+        cost metric, fleet-wide)."""
+        return sum(r.auc for r in self.records)
+
+    @property
+    def total_dollar_cost(self) -> float:
+        core_hours = (
+            self.total_executor_seconds * self.cores_per_executor / 3600.0
+        )
+        return core_hours * self.price_per_core_hour
+
+    def utilization(self) -> float:
+        """Mean fraction of the pool reserved over the makespan."""
+        span = self.makespan
+        if span <= 0 or not self.records:
+            return 0.0
+        start = min(r.arrival_time for r in self.records)
+        end = max(r.finish_time for r in self.records)
+        reserved = self.pool_skyline.auc(end) - self.pool_skyline.auc(start)
+        return reserved / (self.capacity * span)
+
+    def prediction_cache_hit_rate(self) -> float:
+        """Fraction of predictive decisions served from the memo cache."""
+        flagged = [
+            r.prediction_cached
+            for r in self.records
+            if r.prediction_cached is not None
+        ]
+        if not flagged:
+            return 0.0
+        return float(np.mean(flagged))
+
+    def summary(self) -> dict[str, float]:
+        """The headline numbers as a flat dict (benchmark-friendly)."""
+        return {
+            "n_queries": float(self.n_queries),
+            "makespan_s": self.makespan,
+            "p50_latency_s": self.p50_latency,
+            "p95_latency_s": self.p95_latency,
+            "p99_latency_s": self.p99_latency,
+            "mean_queue_delay_s": self.mean_queue_delay,
+            "peak_pool_usage": float(self.peak_pool_usage),
+            "utilization": self.utilization(),
+            "total_executor_seconds": self.total_executor_seconds,
+            "total_dollar_cost": self.total_dollar_cost,
+        }
+
+    def describe(self) -> str:
+        """A human-readable one-run report."""
+        s = self.summary()
+        lines = [
+            f"queries served        {self.n_queries}",
+            f"makespan              {s['makespan_s']:10.1f} s",
+            f"latency p50/p95/p99   {s['p50_latency_s']:.1f} / "
+            f"{s['p95_latency_s']:.1f} / {s['p99_latency_s']:.1f} s",
+            f"mean queueing delay   {s['mean_queue_delay_s']:10.1f} s",
+            f"peak pool usage       {self.peak_pool_usage}/{self.capacity} "
+            f"executors",
+            f"pool utilization      {s['utilization']:10.1%}",
+            f"executor-seconds      {s['total_executor_seconds']:10.0f}",
+            f"total cost            ${s['total_dollar_cost']:9.2f}",
+        ]
+        return "\n".join(lines)

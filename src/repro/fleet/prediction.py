@@ -1,0 +1,198 @@
+"""The online prediction service in front of the fleet.
+
+In production, executor-count selection sits on every query's critical
+path (Section 5.6 measures the overheads).  The fleet therefore serves
+predictions through a service that behaves like the deployed one:
+
+- a **plan-signature memo cache**: recurring queries — the common case in
+  the paper's telemetry, where most applications resubmit near-identical
+  queries (Figure 2b's low plan variability) — hit the cache and skip
+  model inference entirely;
+- **measured overhead**: every prediction reports the wall-clock seconds
+  it cost, and the fleet engine charges that latency to the query instead
+  of assuming selection is free;
+- **batched inference** for cache warm-up: scoring many plans through one
+  :class:`repro.export.runtime.PortablePPMScorer` call amortizes the
+  runtime dispatch the way the paper's ONNX runtime batches do.
+
+Any object with ``predict_ppm(features)`` works as the scorer: a trained
+:class:`repro.core.parameter_model.ParameterModel`, an
+:class:`repro.core.autoexecutor.AutoExecutor`, or a portable-model scorer
+from :mod:`repro.export`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.features import QueryFeatures
+from repro.core.selection import elbow_point
+from repro.core.training import DEFAULT_N_GRID
+
+__all__ = ["Prediction", "PredictionService"]
+
+#: Selection objective signature (same as AutoExecutor's).
+_Objective = Callable[[np.ndarray, np.ndarray], int]
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One served executor-count decision.
+
+    Attributes:
+        executors: the selected executor budget.
+        cached: whether the plan signature hit the memo cache.
+        seconds: wall-clock selection overhead of this call (featurize +
+            lookup, plus model inference and selection on a miss).
+    """
+
+    executors: int
+    cached: bool
+    seconds: float
+
+
+class PredictionService:
+    """Cached, measured executor-count selection for the live query path.
+
+    Args:
+        scorer: an object with ``predict_ppm(features) -> PricePerfModel``.
+        n_grid: candidate executor counts.
+        objective: selection strategy over predicted curves (paper
+            default: elbow).
+        min_executors / max_executors: clamp on the selected count.
+    """
+
+    def __init__(
+        self,
+        scorer: object,
+        n_grid: np.ndarray = DEFAULT_N_GRID,
+        objective: _Objective = elbow_point,
+        min_executors: int = 1,
+        max_executors: int = 48,
+    ) -> None:
+        if min_executors < 1 or max_executors < min_executors:
+            raise ValueError("invalid executor clamp range")
+        self.scorer = scorer
+        self.n_grid = np.asarray(n_grid)
+        self.objective = objective
+        self.min_executors = int(min_executors)
+        self.max_executors = int(max_executors)
+        self._cache: dict[tuple[float, ...], int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.total_seconds = 0.0
+
+    @classmethod
+    def from_autoexecutor(cls, system, **kwargs) -> "PredictionService":
+        """Wrap a trained :class:`repro.core.autoexecutor.AutoExecutor`."""
+        if system.model is None:
+            raise RuntimeError("AutoExecutor is not trained yet")
+        return cls(scorer=system.model, n_grid=system.n_grid, **kwargs)
+
+    @staticmethod
+    def signature(features: QueryFeatures) -> tuple[float, ...]:
+        """The memo-cache key: the full compile-time feature vector.
+
+        Two plans with identical Table-2 features get — by construction —
+        identical predictions, so they are the same cache entry.
+        """
+        return tuple(float(v) for v in features.values)
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def mean_overhead_seconds(self) -> float:
+        served = self.hits + self.misses
+        return self.total_seconds / served if served else 0.0
+
+    def _featurize(self, plan_or_features) -> QueryFeatures:
+        if isinstance(plan_or_features, QueryFeatures):
+            return plan_or_features
+        return QueryFeatures.from_plan(plan_or_features)
+
+    def _select(self, ppm) -> int:
+        curve = ppm.predict_curve(self.n_grid)
+        chosen = self.objective(self.n_grid, curve)
+        return int(np.clip(chosen, self.min_executors, self.max_executors))
+
+    def predict(self, plan_or_features) -> Prediction:
+        """Serve one decision, measuring its wall-clock overhead."""
+        start = time.perf_counter()
+        features = self._featurize(plan_or_features)
+        key = self.signature(features)
+        cached = key in self._cache
+        if cached:
+            self.hits += 1
+            chosen = self._cache[key]
+        else:
+            self.misses += 1
+            chosen = self._select(self.scorer.predict_ppm(features))
+            self._cache[key] = chosen
+        elapsed = time.perf_counter() - start
+        self.total_seconds += elapsed
+        return Prediction(executors=chosen, cached=cached, seconds=elapsed)
+
+    def predict_batch(self, plans: Sequence) -> list[Prediction]:
+        """Serve many decisions at once, batching uncached inference.
+
+        When the scorer supports batch scoring (``predict_ppm_batch``,
+        provided by the portable-model runtime), all cache misses go
+        through a single inference call; the batch's wall-clock cost is
+        split evenly across the misses.
+        """
+        start = time.perf_counter()
+        featurized = [self._featurize(p) for p in plans]
+        keys = [self.signature(f) for f in featurized]
+
+        miss_order: list[int] = []
+        seen: set[tuple[float, ...]] = set()
+        for i, key in enumerate(keys):
+            if key not in self._cache and key not in seen:
+                miss_order.append(i)
+                seen.add(key)
+
+        if miss_order:
+            batch_scorer = getattr(self.scorer, "predict_ppm_batch", None)
+            if batch_scorer is not None:
+                matrix = np.stack(
+                    [featurized[i].values for i in miss_order]
+                )
+                ppms = batch_scorer(matrix)
+            else:
+                ppms = [
+                    self.scorer.predict_ppm(featurized[i])
+                    for i in miss_order
+                ]
+            for i, ppm in zip(miss_order, ppms):
+                self._cache[keys[i]] = self._select(ppm)
+
+        elapsed = time.perf_counter() - start
+        per_miss = elapsed / len(miss_order) if miss_order else 0.0
+        missed = {keys[i] for i in miss_order}
+        out: list[Prediction] = []
+        for key in keys:
+            cached = key not in missed
+            if cached:
+                self.hits += 1
+            else:
+                self.misses += 1
+                missed.discard(key)  # later repeats in the batch are hits
+            out.append(
+                Prediction(
+                    executors=self._cache[key],
+                    cached=cached,
+                    seconds=0.0 if cached else per_miss,
+                )
+            )
+        self.total_seconds += elapsed
+        return out
+
+    def allocate(self, query_id: str, plan) -> Prediction:
+        """The fleet engine's allocator interface (query id unused — the
+        decision depends only on the optimized plan)."""
+        return self.predict(plan)

@@ -1,0 +1,224 @@
+"""Fleet-engine tests: determinism, capacity invariants, serving
+semantics, metrics plumbing."""
+
+import pytest
+
+from repro.fleet import (
+    FairShareAdmission,
+    FleetConfig,
+    FleetEngine,
+    Prediction,
+    QueryArrival,
+    poisson_arrivals,
+    static_allocator,
+    trace_arrivals,
+)
+from repro.workloads.generator import Workload
+from repro.workloads.production import generate_production_trace
+
+QIDS = ("q1", "q2", "q3", "q5", "q94")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload(scale_factor=50, query_ids=QIDS)
+
+
+class TestServingSemantics:
+    def test_all_queries_complete(self, workload):
+        arrivals = poisson_arrivals(QIDS, n_queries=25, rate_qps=0.5, seed=0)
+        metrics = FleetEngine(
+            workload, capacity=32, allocator=static_allocator(8)
+        ).serve(arrivals)
+        assert metrics.n_queries == 25
+        assert all(r.finish_time > r.admit_time for r in metrics.records)
+        assert all(r.admit_time >= r.arrival_time for r in metrics.records)
+        assert all(r.auc > 0 for r in metrics.records)
+
+    def test_uncontended_pool_has_no_queueing(self, workload):
+        """One query alone on a big pool is admitted instantly."""
+        arrivals = [QueryArrival(0, "q1", 0, 0.0)]
+        metrics = FleetEngine(
+            workload, capacity=64, allocator=static_allocator(8)
+        ).serve(arrivals)
+        assert metrics.records[0].queue_delay == 0.0
+
+    def test_contention_produces_queueing(self, workload):
+        """A burst over a tiny pool must wait for capacity."""
+        arrivals = [QueryArrival(i, "q1", i, 0.0) for i in range(6)]
+        metrics = FleetEngine(
+            workload, capacity=8, allocator=static_allocator(8)
+        ).serve(arrivals)
+        delays = [r.queue_delay for r in metrics.records]
+        assert delays[0] == 0.0
+        assert sum(d > 0 for d in delays) == 5  # the rest queued
+        assert metrics.mean_queue_delay > 0
+
+    def test_budgets_clamped_to_pool(self, workload):
+        """A request bigger than the whole pool still gets served."""
+        arrivals = [QueryArrival(0, "q1", 0, 0.0)]
+        metrics = FleetEngine(
+            workload, capacity=4, allocator=static_allocator(64)
+        ).serve(arrivals)
+        assert metrics.records[0].executors_granted == 4
+        assert metrics.capacity_respected
+
+    def test_prediction_overhead_charged_before_admission(self, workload):
+        def slow_allocator(query_id, plan):
+            return Prediction(executors=4, cached=False, seconds=2.5)
+
+        arrivals = [QueryArrival(0, "q1", 0, 0.0)]
+        metrics = FleetEngine(
+            workload, capacity=32, allocator=slow_allocator
+        ).serve(arrivals)
+        record = metrics.records[0]
+        assert record.admit_time == pytest.approx(2.5)
+        assert record.prediction_seconds == 2.5
+        assert record.prediction_cached is False
+
+        uncharged = FleetEngine(
+            workload,
+            capacity=32,
+            allocator=slow_allocator,
+            config=FleetConfig(charge_prediction_overhead=False),
+        ).serve(arrivals)
+        assert uncharged.records[0].admit_time == pytest.approx(0.0)
+
+    def test_idle_release_returns_capacity_early(self, workload):
+        """With idle release on, tail stages run on fewer executors, so
+        the fleet-wide occupancy drops versus holding budgets to the end."""
+        arrivals = poisson_arrivals(QIDS, n_queries=10, rate_qps=0.2, seed=4)
+        held = FleetEngine(
+            workload,
+            capacity=64,
+            allocator=static_allocator(16),
+            config=FleetConfig(idle_release_timeout=None),
+        ).serve(arrivals)
+        released = FleetEngine(
+            workload,
+            capacity=64,
+            allocator=static_allocator(16),
+            config=FleetConfig(idle_release_timeout=5.0),
+        ).serve(arrivals)
+        assert (
+            released.total_executor_seconds < held.total_executor_seconds
+        )
+
+
+class TestCapacityInvariant:
+    @pytest.mark.parametrize("admission", [None, FairShareAdmission()])
+    @pytest.mark.parametrize("capacity", [8, 24, 64])
+    def test_pool_never_overcommitted(self, workload, admission, capacity):
+        arrivals = poisson_arrivals(QIDS, n_queries=40, rate_qps=2.0, seed=1)
+        metrics = FleetEngine(
+            workload,
+            capacity=capacity,
+            allocator=static_allocator(12),
+            admission=admission,
+        ).serve(arrivals)
+        assert metrics.capacity_respected
+        assert metrics.peak_pool_usage <= capacity
+
+    def test_fair_share_helps_small_tenants_under_contention(self, workload):
+        """Fair-share admits waiting small requests FIFO would block."""
+        arrivals = [
+            QueryArrival(0, "q1", 0, 0.0),   # big app warms the pool
+            QueryArrival(1, "q1", 0, 0.1),   # big app asks again (blocked)
+            QueryArrival(2, "q2", 1, 0.2),   # small tenant
+        ]
+
+        def allocator(query_id, plan):
+            return {"q1": 12, "q2": 4}[query_id]
+
+        fifo = FleetEngine(
+            workload, capacity=16, allocator=allocator
+        ).serve(arrivals)
+        fair = FleetEngine(
+            workload,
+            capacity=16,
+            allocator=allocator,
+            admission=FairShareAdmission(),
+        ).serve(arrivals)
+        assert (
+            fair.records[2].queue_delay < fifo.records[2].queue_delay
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_metrics(self, workload):
+        """The fleet's core reproducibility contract: same seed + trace
+        -> bit-identical fleet metrics."""
+        trace = generate_production_trace(n_applications=200, seed=6)
+        arrivals = trace_arrivals(trace, QIDS, n_queries=60, seed=6)
+
+        def run():
+            return FleetEngine(
+                workload,
+                capacity=48,
+                allocator=static_allocator(8),
+                admission=FairShareAdmission(),
+            ).serve(arrivals)
+
+        first, second = run(), run()
+        assert first.summary() == second.summary()
+        assert first.records == second.records
+        assert first.pool_skyline.points == second.pool_skyline.points
+
+    def test_different_seed_different_stream(self, workload):
+        a = trace_arrivals(
+            generate_production_trace(n_applications=200, seed=6),
+            QIDS,
+            n_queries=60,
+            seed=6,
+        )
+        b = trace_arrivals(
+            generate_production_trace(n_applications=200, seed=6),
+            QIDS,
+            n_queries=60,
+            seed=7,
+        )
+        assert a != b
+
+
+class TestMetrics:
+    def test_percentiles_ordered(self, workload):
+        arrivals = poisson_arrivals(QIDS, n_queries=30, rate_qps=1.0, seed=2)
+        m = FleetEngine(
+            workload, capacity=32, allocator=static_allocator(8)
+        ).serve(arrivals)
+        assert m.p50_latency <= m.p95_latency <= m.p99_latency
+        assert 0.0 < m.utilization() <= 1.0
+        assert m.total_dollar_cost > 0
+        summary = m.summary()
+        assert summary["n_queries"] == 30.0
+        assert "describe" not in summary
+        assert "queries served" in m.describe()
+
+    def test_empty_stream_rejected(self, workload):
+        with pytest.raises(ValueError):
+            FleetEngine(
+                workload, capacity=8, allocator=static_allocator(2)
+            ).serve([])
+
+
+class TestStallGuard:
+    def test_never_admitting_policy_raises_instead_of_hanging(
+        self, workload
+    ):
+        """A custom policy that refuses everything must surface as an
+        error, not an infinite tick chain."""
+
+        class RejectAll:
+            name = "reject_all"
+
+            def pick(self, queue, free, app_usage):
+                return None
+
+        arrivals = [QueryArrival(0, "q1", 0, 0.0)]
+        with pytest.raises(RuntimeError, match="admission stalled"):
+            FleetEngine(
+                workload,
+                capacity=8,
+                allocator=static_allocator(4),
+                admission=RejectAll(),
+            ).serve(arrivals)

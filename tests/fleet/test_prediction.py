@@ -1,0 +1,136 @@
+"""Prediction-service tests: memo cache, batching, portable runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FEATURE_NAMES, QueryFeatures
+from repro.core.ppm import PowerLawPPM
+from repro.export.format import save_parameter_model
+from repro.export.runtime import PortableModelRuntime, PortablePPMScorer
+from repro.fleet.prediction import PredictionService
+from repro.workloads.generator import Workload
+
+
+class CountingScorer:
+    """Fixed-curve scorer that counts inference calls."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def predict_ppm(self, features):
+        self.calls += 1
+        return PowerLawPPM(a=-0.8, b=400.0, m=10.0)
+
+
+def features(seed: float) -> QueryFeatures:
+    values = np.full(len(FEATURE_NAMES), seed, dtype=float)
+    return QueryFeatures(values=values)
+
+
+class TestMemoCache:
+    def test_hit_and_miss_counts(self):
+        scorer = CountingScorer()
+        service = PredictionService(scorer)
+        f1, f2 = features(1.0), features(2.0)
+        service.predict(f1)
+        service.predict(f2)
+        service.predict(f1)
+        service.predict(f1)
+        assert service.misses == 2
+        assert service.hits == 2
+        assert service.cache_size == 2
+        assert scorer.calls == 2  # inference only on misses
+
+    def test_cached_flag_and_overhead(self):
+        service = PredictionService(CountingScorer())
+        first = service.predict(features(1.0))
+        second = service.predict(features(1.0))
+        assert not first.cached
+        assert second.cached
+        assert first.seconds >= 0.0
+        assert service.mean_overhead_seconds() >= 0.0
+
+    def test_identical_plan_identical_prediction(self):
+        """Two independent builds of the same query featurize identically,
+        so the second is a cache hit with the same executor count."""
+        w1 = Workload(scale_factor=50, query_ids=("q3",))
+        w2 = Workload(scale_factor=50, query_ids=("q3",))
+        service = PredictionService(CountingScorer())
+        a = service.predict(w1.optimized_plan("q3"))
+        b = service.predict(w2.optimized_plan("q3"))
+        assert a.executors == b.executors
+        assert not a.cached
+        assert b.cached
+
+    def test_clamps_to_range(self):
+        # The fixed curve's elbow would land mid-grid; a tight clamp wins.
+        service = PredictionService(
+            CountingScorer(), min_executors=3, max_executors=3
+        )
+        assert service.predict(features(1.0)).executors == 3
+
+    def test_invalid_clamp_rejected(self):
+        with pytest.raises(ValueError):
+            PredictionService(CountingScorer(), min_executors=0)
+        with pytest.raises(ValueError):
+            PredictionService(
+                CountingScorer(), min_executors=8, max_executors=4
+            )
+
+
+class TestBatching:
+    def test_batch_matches_sequential(self):
+        plans = [features(float(i % 3)) for i in range(7)]
+        sequential = PredictionService(CountingScorer())
+        one_by_one = [sequential.predict(p).executors for p in plans]
+        batched = PredictionService(CountingScorer())
+        batch = batched.predict_batch(plans)
+        assert [p.executors for p in batch] == one_by_one
+        assert batched.hits == sequential.hits
+        assert batched.misses == sequential.misses
+
+    def test_repeats_within_batch_hit_the_cache(self):
+        scorer = CountingScorer()
+        service = PredictionService(scorer)
+        out = service.predict_batch(
+            [features(1.0), features(1.0), features(2.0)]
+        )
+        assert [p.cached for p in out] == [False, True, False]
+        assert scorer.calls == 2
+
+
+class TestPortableRuntime:
+    """The service in front of the exported-model runtime, as deployed."""
+
+    @pytest.fixture(scope="class")
+    def trained(self, tmp_path_factory):
+        from repro import AutoExecutor
+
+        qids = ("q1", "q2", "q3", "q5", "q6", "q7", "q8", "q94")
+        workload = Workload(scale_factor=50, query_ids=qids)
+        system = AutoExecutor(family="power_law").train(workload)
+        registry = tmp_path_factory.mktemp("registry")
+        save_parameter_model(system.model, registry / "ppm.json")
+        scorer = PortablePPMScorer(PortableModelRuntime(registry), "ppm")
+        return workload, system, scorer
+
+    def test_portable_matches_in_process_model(self, trained):
+        workload, system, scorer = trained
+        service = PredictionService(scorer, n_grid=system.n_grid)
+        for qid in ("q1", "q94"):
+            plan = workload.optimized_plan(qid)
+            assert (
+                service.predict(plan).executors
+                == system.select_executors(plan)
+            )
+
+    def test_batch_inference_single_runtime_dispatch(self, trained):
+        workload, system, scorer = trained
+        service = PredictionService(scorer, n_grid=system.n_grid)
+        plans = [workload.optimized_plan(q) for q in workload.query_ids]
+        before = len(scorer.runtime.timings["inference"])
+        out = service.predict_batch(plans)
+        after = len(scorer.runtime.timings["inference"])
+        assert after - before == 1  # one batched dispatch for all misses
+        expected = [system.select_executors(p) for p in plans]
+        assert [p.executors for p in out] == expected

@@ -49,6 +49,12 @@ PUBLIC_MODULES = [
     "repro.export",
     "repro.export.format",
     "repro.export.runtime",
+    "repro.fleet",
+    "repro.fleet.arrivals",
+    "repro.fleet.admission",
+    "repro.fleet.engine",
+    "repro.fleet.prediction",
+    "repro.fleet.metrics",
     "repro.experiments",
     "repro.experiments.runtime_data",
     "repro.experiments.crossval",
@@ -74,7 +80,8 @@ def test_all_exports_resolve(module_name):
 def test_top_level_quickstart_names():
     assert repro.__version__
     for name in ("AutoExecutor", "AutoExecutorRule", "PowerLawPPM",
-                 "AmdahlPPM", "Workload"):
+                 "AmdahlPPM", "Workload", "FleetEngine",
+                 "PredictionService"):
         assert hasattr(repro, name)
 
 
