@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate for CI.
+
+Compares a fresh ``BENCH_sweep.json`` (see ``run_bench.py``) against the
+checked-in ``baseline.json`` and exits non-zero when the sweep backend
+regressed:
+
+- **relative throughput** — the sweep/loop *speedup* ratio is
+  hardware-normalized (both passes run on the same machine), so it is
+  the gated quantity: a candidate speedup more than ``--max-regression``
+  below the baseline's fails the build;
+- **absolute floor** — the speedup must also clear ``--min-speedup``
+  (the repository's acceptance bar of 5x over the event loop);
+- **exactness** — the run's sweep-vs-loop bit-identity check must hold.
+
+Usage:
+
+    python benchmarks/perf/compare.py \
+        --baseline benchmarks/perf/baseline.json \
+        --candidate benchmarks/perf/output/BENCH_sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "repro-bench-sweep/v1"
+
+
+def load(path: str) -> dict:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("schema") != SCHEMA:
+        msg = (
+            f"{path}: unexpected schema {data.get('schema')!r} "
+            f"(want {SCHEMA!r})"
+        )
+        raise SystemExit(msg)
+    return data
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--candidate", required=True)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="tolerated fractional speedup drop vs baseline (default 0.20)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="absolute sweep-vs-loop speedup floor (default 5.0)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+
+    # Speedups are only comparable when measured on the same workload
+    # grid; "repeats" is a timing knob, not part of the workload.
+    def grid(params: dict) -> dict:
+        return {k: v for k, v in params.items() if k != "repeats"}
+
+    if grid(baseline["params"]) != grid(candidate["params"]):
+        print("FAIL: bench params drifted from the baseline's", file=sys.stderr)
+        print(f"  baseline : {grid(baseline['params'])}", file=sys.stderr)
+        print(f"  candidate: {grid(candidate['params'])}", file=sys.stderr)
+        print("  regenerate benchmarks/perf/baseline.json", file=sys.stderr)
+        return 1
+
+    if baseline["machine"] != candidate["machine"]:
+        # Advisory only: the ratio is mostly but not perfectly
+        # machine-invariant.  If the gate trips right after an
+        # interpreter/runner change, re-anchor the baseline from the CI
+        # artifact (see benchmarks/perf/README.md).
+        print(f"note: baseline machine {baseline['machine']}")
+        print(f"      candidate machine {candidate['machine']}")
+
+    base_speedup = float(baseline["speedup"])
+    cand_speedup = float(candidate["speedup"])
+    threshold = base_speedup * (1.0 - args.max_regression)
+    equivalent = bool(candidate["equivalence"]["bit_identical"])
+
+    print(f"baseline  speedup: {base_speedup:6.2f}x  ({args.baseline})")
+    print(f"candidate speedup: {cand_speedup:6.2f}x  ({args.candidate})")
+    gate_line = (
+        f"gate: >= {threshold:.2f}x (baseline - {args.max_regression:.0%}) "
+        f"and >= {args.min_speedup:.2f}x floor, bit-identical results"
+    )
+    print(gate_line)
+
+    failures = []
+    if not equivalent:
+        failures.append("sweep results no longer match the event loop bit-for-bit")
+    if cand_speedup < threshold:
+        detail = (
+            f"sweep throughput regressed: {cand_speedup:.2f}x < "
+            f"{threshold:.2f}x ({args.max_regression:.0%} below baseline "
+            f"{base_speedup:.2f}x)"
+        )
+        failures.append(detail)
+    if cand_speedup < args.min_speedup:
+        detail = (
+            f"sweep speedup {cand_speedup:.2f}x is below the "
+            f"{args.min_speedup:.2f}x acceptance floor"
+        )
+        failures.append(detail)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: no benchmark regression")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

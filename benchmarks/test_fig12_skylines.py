@@ -10,12 +10,9 @@ SA(48) > DA > SA(rule) ~ Rule on AUC and the visible provisioning ramp.
 import numpy as np
 
 from repro.core.selection import limited_slowdown
-from repro.engine.allocation import (
-    DynamicAllocation,
-    PredictiveAllocation,
-    StaticAllocation,
-)
+from repro.engine.allocation import DynamicAllocation, PredictiveAllocation
 from repro.engine.scheduler import simulate_query
+from repro.engine.sweep import compile_plan
 
 
 def test_fig12_skylines(ctx, report, benchmark):
@@ -30,15 +27,17 @@ def test_fig12_skylines(ctx, report, benchmark):
         cv.n_grid, fold.predicted_curves["power_law"]["q94"], 1.05
     )
 
-    policies = {
-        "DA(1,48)": DynamicAllocation(1, 48),
-        "SA(48)": StaticAllocation(48),
-        f"SA({rule_n})": StaticAllocation(rule_n),
-        f"Rule({rule_n})": PredictiveAllocation(rule_n, initial_executors=5),
-    }
+    # Static skylines come from the batched sweep backend (bit-identical
+    # to the event loop); the scaling policies need the event loop.
+    compiled = compile_plan(graph)
+    sa48, sa_rule_r = compiled.sweep([48, rule_n], cluster)
     results = {
-        name: simulate_query(graph, policy, cluster)
-        for name, policy in policies.items()
+        "DA(1,48)": simulate_query(graph, DynamicAllocation(1, 48), cluster),
+        "SA(48)": sa48,
+        f"SA({rule_n})": sa_rule_r,
+        f"Rule({rule_n})": simulate_query(
+            graph, PredictiveAllocation(rule_n, initial_executors=5), cluster
+        ),
     }
 
     lines = [

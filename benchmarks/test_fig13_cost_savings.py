@@ -14,12 +14,9 @@ prediction at H=1.05),
 import numpy as np
 
 from repro.core.selection import limited_slowdown
-from repro.engine.allocation import (
-    DynamicAllocation,
-    PredictiveAllocation,
-    StaticAllocation,
-)
+from repro.engine.allocation import DynamicAllocation, PredictiveAllocation
 from repro.engine.scheduler import simulate_query
+from repro.engine.sweep import simulate_query_sweep
 
 
 def test_fig13_cost_savings(ctx, report, benchmark):
@@ -42,7 +39,7 @@ def test_fig13_cost_savings(ctx, report, benchmark):
     for qid in workload:
         graph = workload.stage_graph(qid)
         r_da = simulate_query(graph, DynamicAllocation(1, 48), cluster)
-        r_sa = simulate_query(graph, StaticAllocation(48), cluster)
+        r_sa = simulate_query_sweep(graph, [48], cluster)[0]
         r_rule = simulate_query(
             graph,
             PredictiveAllocation(rule_n[qid], initial_executors=5),

@@ -17,9 +17,8 @@ import numpy as np
 
 from repro import AutoExecutor, Workload
 from repro.core.selection import limited_slowdown
-from repro.engine.allocation import StaticAllocation
 from repro.engine.cluster import Cluster
-from repro.engine.scheduler import simulate_query
+from repro.engine.sweep import compile_plan
 from repro.experiments.runtime_data import collect_actual_runtimes
 from repro.workloads.tpcds import QUERY_IDS
 
@@ -44,6 +43,11 @@ def main() -> None:
 
     print(f"\n{'H':>6} {'avg n':>7} {'avg slowdown':>13} "
           f"{'avg occupancy':>14} {'vs H=1 occ.':>12}")
+    # Every H re-simulates each held-out query, so compile the plans once
+    # and let the batched backend answer each (query, n) from there.
+    compiled = {
+        qid: compile_plan(eval_workload.stage_graph(qid)) for qid in eval_ids
+    }
     base_occupancy = None
     for h in H_VALUES:
         chosen_n, slowdowns, occupancy = [], [], []
@@ -53,10 +57,7 @@ def main() -> None:
             chosen_n.append(n)
             actual_curve = actuals.curve(qid, grid)
             slowdowns.append(actual_curve[n - 1] / actual_curve.min())
-            result = simulate_query(
-                eval_workload.stage_graph(qid), StaticAllocation(n), cluster
-            )
-            occupancy.append(result.auc)
+            occupancy.append(compiled[qid].simulate(n, cluster).auc)
         occ = float(np.mean(occupancy))
         if base_occupancy is None:
             base_occupancy = occ

@@ -32,7 +32,7 @@ from repro.core.cores import Factorization, factorize_cores
 from repro.core.features import QueryFeatures
 from repro.core.parameter_model import ParameterModel
 from repro.core.ppm import PricePerfModel
-from repro.core.selection import elbow_point
+from repro.core.selection import elbow_point, oracle_executors, true_runtime_curve
 from repro.core.training import (
     DEFAULT_N_GRID,
     TrainingDataset,
@@ -99,6 +99,26 @@ class AutoExecutor:
         """Predict the curve and apply the selection objective."""
         curve = self.predict_curve(plan_or_features)
         return self.objective(self.n_grid, curve)
+
+    def true_curve(self, graph, cluster: Cluster | None = None) -> np.ndarray:
+        """The simulated ground-truth ``t(n)`` over this system's grid.
+
+        One batched sweep (:mod:`repro.engine.sweep`) — the curve
+        :meth:`predict_curve` is approximating.  Needs no trained model.
+        """
+        return true_runtime_curve(graph, self.n_grid, cluster)
+
+    def select_executors_oracle(
+        self, graph, cluster: Cluster | None = None
+    ) -> int:
+        """Hindsight selection: the objective on the *true* curve.
+
+        The zero-prediction-error upper bound this system's
+        :meth:`select_executors` is evaluated against (Section 5.3).
+        """
+        return oracle_executors(
+            graph, self.n_grid, cluster, objective=self.objective
+        )
 
     def select_configuration(
         self,

@@ -11,15 +11,31 @@ these objectives pick the operating point:
   normalized slope crosses from above 1 to at-most 1 (Equation 9) — the
   point right before the curve flattens.
 
-All functions take the curve as parallel arrays ``(n_grid, t_curve)`` and
-return a value from ``n_grid``.
+All objectives take the curve as parallel arrays ``(n_grid, t_curve)``
+and return a value from ``n_grid``.  Where the curve itself comes from is
+the caller's choice: AutoExecutor applies objectives to *predicted*
+curves, while :func:`true_runtime_curve` / :func:`oracle_executors`
+measure the real curve with one batched simulator sweep
+(:func:`~repro.engine.sweep.simulate_query_sweep`) — the hindsight
+selection every prediction is judged against.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["min_time_executors", "limited_slowdown", "elbow_point"]
+from repro.engine.cluster import Cluster
+from repro.engine.scheduler import DEFAULT_SCHEDULER_CONFIG, SchedulerConfig
+from repro.engine.stages import StageGraph
+from repro.engine.sweep import simulate_query_sweep
+
+__all__ = [
+    "min_time_executors",
+    "limited_slowdown",
+    "elbow_point",
+    "true_runtime_curve",
+    "oracle_executors",
+]
 
 
 def _validate(n_grid, t_curve) -> tuple[np.ndarray, np.ndarray]:
@@ -93,3 +109,36 @@ def elbow_point(n_grid, t_curve) -> int:
     # The curve starts already flat (slope < 1 everywhere): the first
     # point is the elbow.
     return int(n[0])
+
+
+def true_runtime_curve(
+    graph: StageGraph,
+    n_grid,
+    cluster: Cluster | None = None,
+    config: SchedulerConfig = DEFAULT_SCHEDULER_CONFIG,
+) -> np.ndarray:
+    """The query's *actual* ``t(n)`` over the candidate grid.
+
+    One batched sweep of the engine simulator under static allocation —
+    the ground-truth curve selection objectives are evaluated against
+    (and the fleet's oracle baseline measures).
+    """
+    cluster = cluster or Cluster()
+    results = simulate_query_sweep(graph, n_grid, cluster, config)
+    return np.array([r.runtime for r in results])
+
+
+def oracle_executors(
+    graph: StageGraph,
+    n_grid,
+    cluster: Cluster | None = None,
+    objective=elbow_point,
+    config: SchedulerConfig = DEFAULT_SCHEDULER_CONFIG,
+) -> int:
+    """Hindsight selection: the objective applied to the true curve.
+
+    Perfect curve knowledge, zero prediction error — the upper bound the
+    paper's predicted selections chase (Section 5.3's "optimal" rows).
+    """
+    curve = true_runtime_curve(graph, n_grid, cluster, config)
+    return int(objective(np.asarray(n_grid, dtype=float), curve))

@@ -26,9 +26,8 @@ import numpy as np
 from repro.core.features import QueryFeatures
 from repro.core.parameter_model import ParameterModel
 from repro.core.ppm import fit_amdahl, fit_power_law
-from repro.engine.allocation import StaticAllocation
 from repro.engine.cluster import Cluster
-from repro.engine.scheduler import simulate_query
+from repro.engine.sweep import simulate_query_sweep
 from repro.sparklens.simulator import SparklensEstimator
 from repro.workloads.generator import Workload
 
@@ -121,12 +120,14 @@ def build_training_dataset(
     logs = []
     for query_id in workload:
         plans.append(workload.optimized_plan(query_id))
-        result = simulate_query(
+        # A single-count sweep: the training run is static allocation on a
+        # dedicated cluster, exactly the compiled fast path's territory.
+        result = simulate_query_sweep(
             workload.stage_graph(query_id),
-            StaticAllocation(training_executors),
+            [training_executors],
             cluster,
             record_log=True,
-        )
+        )[0]
         assert result.execution_log is not None
         logs.append(result.execution_log)
     return build_training_dataset_from_logs(plans, logs, n_grid=n_grid)

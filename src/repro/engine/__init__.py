@@ -16,6 +16,9 @@ Spark pools).  It provides:
   allocation with reactive deallocation.
 - :mod:`~repro.engine.scheduler` — the discrete-event task scheduler that
   produces query run times, executor skylines, and telemetry.
+- :mod:`~repro.engine.sweep` — the batched simulation backend: compile a
+  plan once, evaluate every candidate executor count in one vectorized
+  wave-scheduling pass (bit-identical to the event-driven scheduler).
 - :mod:`~repro.engine.skyline` — executor-allocation skylines and AUC
   (total executor occupancy, the paper's cost metric).
 - :mod:`~repro.engine.metrics` — per-query telemetry records (one row per
@@ -36,6 +39,7 @@ from repro.engine.scheduler import SimulationResult, simulate_query
 from repro.engine.session import SparkApplication
 from repro.engine.skyline import Skyline
 from repro.engine.stages import Stage, StageGraph, compile_stages
+from repro.engine.sweep import CompiledPlan, compile_plan, simulate_query_sweep
 
 __all__ = [
     "OperatorKind",
@@ -55,6 +59,9 @@ __all__ = [
     "DynamicAllocation",
     "PredictiveAllocation",
     "simulate_query",
+    "simulate_query_sweep",
+    "CompiledPlan",
+    "compile_plan",
     "SimulationResult",
     "Skyline",
     "QueryTelemetry",

@@ -70,13 +70,16 @@ RewriteRule = Callable[[PlanNode], tuple[PlanNode, bool]]
 
 
 def _rewrite_bottom_up(node: PlanNode, rule: RewriteRule) -> tuple[PlanNode, bool]:
+    # Rewrite children in place: most passes over an already-fixpointed
+    # plan change nothing (the optimizer reruns every rule per iteration,
+    # and hot paths like the fleet re-optimize recurring plans), so the
+    # no-change walk should not churn fresh child lists at every node.
     changed = False
-    new_children = []
-    for child in node.children:
+    for i, child in enumerate(node.children):
         new_child, child_changed = _rewrite_bottom_up(child, rule)
-        changed |= child_changed
-        new_children.append(new_child)
-    node.children = new_children
+        if child_changed:
+            node.children[i] = new_child
+            changed = True
     node, self_changed = rule(node)
     return node, changed or self_changed
 

@@ -29,6 +29,7 @@ from repro.engine.stages import (
     StageCompilerConfig,
     compile_stages,
 )
+from repro.engine.sweep import simulate_query_sweep
 
 __all__ = ["SparkApplication"]
 
@@ -103,9 +104,16 @@ class SparkApplication:
             policy = StaticAllocation(requested)
 
         graph = compile_stages(context.plan, self.compiler_config)
-        result = simulate_query(
-            graph, policy, self.cluster, self.scheduler_config
-        )
+        if isinstance(policy, StaticAllocation):
+            # No mid-query scaling to play out: take the engine's batched
+            # fast path (bit-identical to the event-driven run).
+            result = simulate_query_sweep(
+                graph, [policy.n], self.cluster, self.scheduler_config
+            )[0]
+        else:
+            result = simulate_query(
+                graph, policy, self.cluster, self.scheduler_config
+            )
 
         # Stitch the query's skyline into the application skyline.
         for t, c in result.skyline.points:

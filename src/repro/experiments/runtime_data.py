@@ -20,9 +20,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.errors import interpolate_curve
-from repro.engine.allocation import StaticAllocation
 from repro.engine.cluster import Cluster
-from repro.engine.scheduler import SchedulerConfig, simulate_query
+from repro.engine.scheduler import SchedulerConfig
+from repro.engine.sweep import simulate_query_sweep
 from repro.workloads.generator import Workload
 
 __all__ = [
@@ -129,9 +129,12 @@ def collect_actual_runtimes(
 ) -> ActualRuns:
     """Collect averaged ground truth for every query and executor count.
 
-    Each (query, n) pair is simulated once deterministically; ``repeats``
-    noisy observations are drawn around it, outliers are discarded by the
-    ±1.5×IQR rule, and the rest are averaged — the paper's exact protocol.
+    Each query's deterministic curve over ``n_values`` comes from one
+    batched :func:`~repro.engine.sweep.simulate_query_sweep` call (the
+    engine's fast path for exactly this static-allocation sweep);
+    ``repeats`` noisy observations are drawn around each point, outliers
+    are discarded by the ±1.5×IQR rule, and the rest are averaged — the
+    paper's exact protocol.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -144,10 +147,10 @@ def collect_actual_runtimes(
     aucs = np.empty_like(times)
     for i, query_id in enumerate(ids):
         graph = workload.stage_graph(query_id)
-        for j, n in enumerate(n_values):
-            result = simulate_query(
-                graph, StaticAllocation(int(n)), cluster, scheduler_config
-            )
+        results = simulate_query_sweep(
+            graph, n_values, cluster, scheduler_config
+        )
+        for j, (n, result) in enumerate(zip(n_values, results)):
             sigma = noise_sigma(int(n))
             factors = rng.lognormal(mean=0.0, sigma=sigma, size=repeats)
             heavy = rng.random(repeats) < _OUTLIER_PROB

@@ -1,10 +1,32 @@
 """Unit tests for executor skylines and AUC."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine.skyline import Skyline
+
+
+def linear_value_at(points, time):
+    """Reference implementation: the pre-bisect linear scan."""
+    count = 0
+    for t, c in points:
+        if t > time:
+            break
+        count = c
+    return count
+
+
+def linear_auc(points, end_time):
+    """Reference implementation: the pre-index full rescan."""
+    area = 0.0
+    for i, (t, c) in enumerate(points):
+        if t >= end_time:
+            break
+        t_next = points[i + 1][0] if i + 1 < len(points) else end_time
+        area += c * (min(t_next, end_time) - t)
+    return area
 
 
 class TestRecord:
@@ -73,6 +95,95 @@ class TestQueries:
         assert t.points == [(0.0, 2), (10.0, 6)]
         # original untouched
         assert len(s.points) == 3
+
+
+class TestBisectIndexRegression:
+    """The breakpoint index must survive interleaved records and queries.
+
+    ``record`` calls arriving *after* queries built the bisect index (the
+    fleet's pool skyline interleaves grants with AUC reads constantly)
+    must invalidate it, and out-of-order records must fail without
+    corrupting either the points or the index.
+    """
+
+    def test_record_after_query_refreshes_index(self):
+        s = Skyline()
+        s.record(0.0, 2)
+        assert s.auc(10.0) == pytest.approx(20.0)  # index built here
+        assert s.value_at(5.0) == 2
+        s.record(10.0, 6)  # out-of-band w.r.t. the built index
+        assert s.value_at(12.0) == 6
+        assert s.auc(20.0) == pytest.approx(2 * 10 + 6 * 10)
+
+    def test_out_of_order_record_raises_and_preserves_state(self):
+        s = Skyline()
+        s.record(0.0, 2)
+        s.record(10.0, 6)
+        before = s.auc(30.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            s.record(5.0, 4)  # out-of-order: must not land
+        assert s.points == [(0.0, 2), (10.0, 6)]
+        assert s.auc(30.0) == before
+        assert s.value_at(7.0) == 2
+
+    def test_same_time_rewrite_updates_queries(self):
+        s = Skyline()
+        s.record(0.0, 3)
+        assert s.value_at(0.0) == 3
+        s.record(0.0, 9)  # in-order overwrite of the live step
+        assert s.value_at(0.0) == 9
+        assert s.auc(2.0) == pytest.approx(18.0)
+
+
+class TestAucBatch:
+    def make(self):
+        s = Skyline()
+        s.record(0.0, 2)
+        s.record(10.0, 6)
+        s.record(20.0, 1)
+        return s
+
+    def test_matches_scalar_auc_exactly(self):
+        s = self.make()
+        ends = np.array([0.0, 0.5, 10.0, 15.0, 20.0, 99.0])
+        batch = s.auc_batch(ends)
+        assert batch.shape == ends.shape
+        for end, area in zip(ends, batch):
+            assert area == s.auc(float(end))
+
+    def test_before_first_step_is_zero(self):
+        s = Skyline()
+        s.record(5.0, 3)
+        assert s.auc_batch([0.0, 4.9]).tolist() == [0.0, 0.0]
+
+    def test_empty_skyline_all_zero(self):
+        assert Skyline().auc_batch([0.0, 10.0]).tolist() == [0.0, 0.0]
+
+    def test_rejects_negative_end(self):
+        with pytest.raises(ValueError):
+            self.make().auc_batch([5.0, -1.0])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),
+            st.integers(min_value=0, max_value=48),
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+    st.floats(min_value=0.0, max_value=120.0),
+)
+def test_property_bisect_matches_linear_reference(steps, probe):
+    steps = sorted(steps, key=lambda p: p[0])
+    s = Skyline()
+    for t, c in steps:
+        s.record(t, c)
+    assert s.value_at(probe) == linear_value_at(s.points, probe)
+    assert s.auc(probe) == linear_auc(s.points, probe)
+    assert s.auc_batch([probe, probe + 1.0])[0] == s.auc(probe)
 
 
 @settings(max_examples=40, deadline=None)

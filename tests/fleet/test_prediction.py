@@ -78,6 +78,45 @@ class TestMemoCache:
             )
 
 
+class TestAllocateFeaturizationMemo:
+    def test_recurring_query_id_skips_plan_walk(self):
+        scorer = CountingScorer()
+        service = PredictionService(scorer)
+        workload = Workload(scale_factor=10, query_ids=("q1", "q2"))
+        plan = workload.optimized_plan("q1")
+
+        first = service.allocate("q1", plan)
+        second = service.allocate("q1", plan)
+        assert scorer.calls == 1  # one inference, then signature hits
+        assert first.executors == second.executors
+        assert second.cached is True
+        assert "q1" in service._features_by_query
+
+    def test_changed_plan_for_same_id_is_refeaturized(self):
+        scorer = CountingScorer()
+        service = PredictionService(scorer)
+        small = Workload(scale_factor=10, query_ids=("q1",))
+        big = Workload(scale_factor=100, query_ids=("q1",))
+
+        service.allocate("q1", small.optimized_plan("q1"))
+        pred = service.allocate("q1", big.optimized_plan("q1"))
+        # the identity guard must notice the new plan, not serve stale
+        # features: the bigger plan has a different signature => a miss
+        assert pred.cached is False
+        assert scorer.calls == 2
+        assert service._features_by_query["q1"][0] is big.optimized_plan("q1")
+
+    def test_allocate_matches_direct_predict(self):
+        scorer = CountingScorer()
+        service = PredictionService(scorer)
+        workload = Workload(scale_factor=10, query_ids=("q1", "q2"))
+        via_allocate = service.allocate("q2", workload.optimized_plan("q2"))
+        via_predict = PredictionService(CountingScorer()).predict(
+            workload.optimized_plan("q2")
+        )
+        assert via_allocate.executors == via_predict.executors
+
+
 class TestBatching:
     def test_batch_matches_sequential(self):
         plans = [features(float(i % 3)) for i in range(7)]

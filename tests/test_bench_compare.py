@@ -1,0 +1,129 @@
+"""The CI benchmark-regression gate (``benchmarks/perf/compare.py``).
+
+The gate is executed the way CI executes it — as a script — against
+synthetic BENCH JSON files, so the exit codes the workflow depends on
+are pinned here.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+COMPARE = REPO_ROOT / "benchmarks" / "perf" / "compare.py"
+
+
+def bench_json(speedup=10.0, bit_identical=True, schema="repro-bench-sweep/v1"):
+    return {
+        "schema": schema,
+        "machine": {"python": "3.11", "numpy": "2.0", "platform": "test"},
+        "params": {"scale_factor": 100, "queries": ["q1"], "counts": [1, 48]},
+        "loop": {"seconds": 1.0, "sims": 48, "sims_per_second": 48.0},
+        "sweep": {
+            "seconds": 1.0 / speedup,
+            "sims": 48,
+            "sims_per_second": 48.0 * speedup,
+        },
+        "speedup": speedup,
+        "equivalence": {"checked_sims": 48, "bit_identical": bit_identical},
+        "fleet": None,
+    }
+
+
+def run_gate(tmp_path, baseline, candidate, *extra):
+    base = tmp_path / "baseline.json"
+    cand = tmp_path / "candidate.json"
+    base.write_text(json.dumps(baseline), encoding="utf-8")
+    cand.write_text(json.dumps(candidate), encoding="utf-8")
+    return subprocess.run(
+        [
+            sys.executable,
+            str(COMPARE),
+            "--baseline",
+            str(base),
+            "--candidate",
+            str(cand),
+            *extra,
+        ],
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_equal_speedup_passes(tmp_path):
+    proc = run_gate(tmp_path, bench_json(10.0), bench_json(10.0))
+    assert proc.returncode == 0, proc.stderr
+    assert "no benchmark regression" in proc.stdout
+
+
+def test_small_regression_within_tolerance_passes(tmp_path):
+    proc = run_gate(tmp_path, bench_json(10.0), bench_json(8.5))
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_regression_beyond_tolerance_fails(tmp_path):
+    proc = run_gate(tmp_path, bench_json(10.0), bench_json(7.9))
+    assert proc.returncode == 1
+    assert "regressed" in proc.stderr
+
+
+def test_speedup_below_acceptance_floor_fails(tmp_path):
+    # within 20% of a slow baseline, but below the absolute 5x bar
+    proc = run_gate(tmp_path, bench_json(5.0), bench_json(4.2))
+    assert proc.returncode == 1
+    assert "acceptance floor" in proc.stderr
+
+
+def test_lost_bit_identity_fails(tmp_path):
+    proc = run_gate(
+        tmp_path, bench_json(10.0), bench_json(10.0, bit_identical=False)
+    )
+    assert proc.returncode == 1
+    assert "bit-for-bit" in proc.stderr
+
+
+def test_bench_params_drift_fails(tmp_path):
+    drifted = bench_json(10.0)
+    drifted["params"]["queries"] = ["q2", "q3"]
+    proc = run_gate(tmp_path, bench_json(10.0), drifted)
+    assert proc.returncode == 1
+    assert "params drifted" in proc.stderr
+
+
+def test_repeats_difference_is_not_param_drift(tmp_path):
+    candidate = bench_json(10.0)
+    candidate["params"]["repeats"] = 5
+    proc = run_gate(tmp_path, bench_json(10.0), candidate)
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_unknown_schema_rejected(tmp_path):
+    proc = run_gate(
+        tmp_path, bench_json(10.0), bench_json(10.0, schema="bogus/v9")
+    )
+    assert proc.returncode != 0
+    assert "unexpected schema" in proc.stderr
+
+
+def test_custom_tolerance_flag(tmp_path):
+    proc = run_gate(
+        tmp_path,
+        bench_json(10.0),
+        bench_json(6.0),
+        "--max-regression",
+        "0.5",
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+@pytest.mark.parametrize("file", ["baseline.json"])
+def test_checked_in_baseline_is_valid(file):
+    data = json.loads(
+        (REPO_ROOT / "benchmarks" / "perf" / file).read_text(encoding="utf-8")
+    )
+    assert data["schema"] == "repro-bench-sweep/v1"
+    assert data["speedup"] >= 5.0
+    assert data["equivalence"]["bit_identical"] is True
