@@ -11,7 +11,9 @@ regressed:
   below the baseline's fails the build;
 - **absolute floor** — the speedup must also clear ``--min-speedup``
   (the repository's acceptance bar of 5x over the event loop);
-- **exactness** — the run's sweep-vs-loop bit-identity check must hold.
+- **exactness** — the run's sweep-vs-loop bit-identity check must hold;
+- **parity** — the run's fleet-of-one vs ``simulate_query`` bit-identity
+  check (the shared execution core's contract) must hold.
 
 Usage:
 
@@ -27,7 +29,7 @@ import json
 import sys
 from pathlib import Path
 
-SCHEMA = "repro-bench-sweep/v1"
+SCHEMA = "repro-bench-sweep/v2"
 
 
 def load(path: str) -> dict:
@@ -86,18 +88,25 @@ def main(argv=None) -> int:
     cand_speedup = float(candidate["speedup"])
     threshold = base_speedup * (1.0 - args.max_regression)
     equivalent = bool(candidate["equivalence"]["bit_identical"])
+    parity = bool(candidate["parity"]["bit_identical"])
 
     print(f"baseline  speedup: {base_speedup:6.2f}x  ({args.baseline})")
     print(f"candidate speedup: {cand_speedup:6.2f}x  ({args.candidate})")
     gate_line = (
         f"gate: >= {threshold:.2f}x (baseline - {args.max_regression:.0%}) "
-        f"and >= {args.min_speedup:.2f}x floor, bit-identical results"
+        f"and >= {args.min_speedup:.2f}x floor, bit-identical results, "
+        f"fleet-of-one parity"
     )
     print(gate_line)
 
     failures = []
     if not equivalent:
         failures.append("sweep results no longer match the event loop bit-for-bit")
+    if not parity:
+        failures.append(
+            "fleet-of-one no longer matches simulate_query bit-for-bit "
+            "(shared execution core parity lost)"
+        )
     if cand_speedup < threshold:
         detail = (
             f"sweep throughput regressed: {cand_speedup:.2f}x < "

@@ -12,7 +12,10 @@ Measures, on the real TPC-DS workload:
 3. **fleet** — end-to-end ``FleetEngine.serve`` wall-clock for a Poisson
    stream allocated by the online ``PredictionService``;
 4. **equivalence** — bit-identity of every sweep result against its
-   event-loop twin (runtime, AUC, peak executors, skyline steps).
+   event-loop twin (runtime, AUC, peak executors, skyline steps);
+5. **parity** — bit-identity of a fleet of one query on an uncontended
+   pool against ``simulate_query`` under ``BudgetAllocation`` (runtime,
+   AUC, skyline), the shared-execution-core contract.
 
 The result is written as ``BENCH_sweep.json`` (schema documented in
 ``benchmarks/perf/README.md``); CI uploads it as an artifact and gates
@@ -39,16 +42,20 @@ if str(REPO_ROOT / "src") not in sys.path:
 import numpy as np  # noqa: E402
 
 from repro.core.autoexecutor import AutoExecutor  # noqa: E402
-from repro.engine.allocation import StaticAllocation  # noqa: E402
+from repro.engine.allocation import BudgetAllocation, StaticAllocation  # noqa: E402
 from repro.engine.cluster import Cluster  # noqa: E402
 from repro.engine.scheduler import simulate_query  # noqa: E402
 from repro.engine.sweep import compile_plan  # noqa: E402
-from repro.fleet.arrivals import poisson_arrivals  # noqa: E402
-from repro.fleet.engine import FleetEngine  # noqa: E402
+from repro.fleet.arrivals import QueryArrival, poisson_arrivals  # noqa: E402
+from repro.fleet.engine import (  # noqa: E402
+    FleetConfig,
+    FleetEngine,
+    static_allocator,
+)
 from repro.fleet.prediction import PredictionService  # noqa: E402
 from repro.workloads.generator import Workload  # noqa: E402
 
-SCHEMA = "repro-bench-sweep/v1"
+SCHEMA = "repro-bench-sweep/v2"
 
 # A size-diverse slice of TPC-DS (narrow 3-stage scans through wide
 # multi-join DAGs) so both the vectorized wave path and the heap drain
@@ -99,6 +106,42 @@ def check_equivalence(graphs, counts, cluster):
     return checked, True
 
 
+def check_fleet_parity(workload, cluster, idle_timeout=5.0):
+    """Fleet-of-one vs ``simulate_query``: the shared-core contract.
+
+    Every plan is served as a single uncontended arrival and replayed on
+    a dedicated cluster under ``BudgetAllocation`` with the same budget,
+    idle timeout, and floor; runtime, AUC, and skyline must match bit for
+    bit.  Budgets cycle so narrow and wide fleets both run.
+    """
+    checked = 0
+    for i, query_id in enumerate(workload):
+        budget = (4, 8, 16, 32)[i % 4]
+        engine = FleetEngine(
+            workload,
+            capacity=64,
+            allocator=static_allocator(budget),
+            cluster=cluster,
+            config=FleetConfig(idle_release_timeout=idle_timeout),
+        )
+        record = engine.serve([QueryArrival(0, query_id, 0, 0.0)]).records[0]
+        reference = simulate_query(
+            workload.stage_graph(query_id),
+            BudgetAllocation(budget, idle_timeout=idle_timeout, min_executors=1),
+            cluster,
+        )
+        checked += 1
+        same = (
+            record.finish_time - record.admit_time == reference.runtime
+            and record.auc == reference.auc
+            and record.skyline is not None
+            and record.skyline.points == reference.skyline.points
+        )
+        if not same:
+            return checked, False
+    return checked, True
+
+
 def measure_fleet(workload, cluster, n_arrivals, rate_qps, capacity):
     system = AutoExecutor(family="power_law").train(workload, cluster)
     service = PredictionService.from_autoexecutor(system)
@@ -127,6 +170,7 @@ def run(args):
     sweep_seconds = measure_sweep(graphs, counts, cluster, args.repeats)
     speedup = loop_seconds / sweep_seconds
     checked, identical = check_equivalence(graphs, counts, cluster)
+    parity_checked, parity_identical = check_fleet_parity(workload, cluster)
 
     fleet = None
     if not args.skip_fleet:
@@ -171,6 +215,10 @@ def run(args):
         },
         "speedup": round(speedup, 2),
         "equivalence": {"checked_sims": checked, "bit_identical": identical},
+        "parity": {
+            "checked_plans": parity_checked,
+            "bit_identical": parity_identical,
+        },
         "fleet": fleet,
     }
 
@@ -184,6 +232,11 @@ def run(args):
     print(f"sweep: {sweep_seconds:8.3f}s ({sweep_rate:8.1f} sims/s)")
     print(f"speedup: {speedup:.2f}x")
     print(f"equivalence: {checked} sims, bit_identical={identical}")
+    parity_line = (
+        f"parity: {parity_checked} fleet-of-one plans, "
+        f"bit_identical={parity_identical}"
+    )
+    print(parity_line)
     if fleet is not None:
         fleet_line = (
             f"fleet: {fleet['arrivals']} arrivals in {fleet['seconds']:.3f}s "
@@ -191,7 +244,7 @@ def run(args):
         )
         print(fleet_line)
     print(f"wrote {out}")
-    return 0 if identical else 1
+    return 0 if identical and parity_identical else 1
 
 
 def main(argv=None):

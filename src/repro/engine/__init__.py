@@ -12,8 +12,13 @@ Spark pools).  It provides:
 - :mod:`~repro.engine.cluster` — the cluster manager: node shapes, executor
   placement, and the gradual executor-provisioning lag the paper observes.
 - :mod:`~repro.engine.allocation` — executor allocation policies: static,
-  Spark-style reactive dynamic allocation, and predictive (rule-driven)
-  allocation with reactive deallocation.
+  Spark-style reactive dynamic allocation, predictive (rule-driven)
+  allocation with reactive deallocation, and shared-pool admission
+  budgets.
+- :mod:`~repro.engine.execution` — the shared execution core: the one
+  copy of the simulator physics (wave assignment, spill × coordination,
+  idle release, skylines) both the dedicated-cluster scheduler and the
+  fleet engine drive, plus the compiled-plan representation.
 - :mod:`~repro.engine.scheduler` — the discrete-event task scheduler that
   produces query run times, executor skylines, and telemetry.
 - :mod:`~repro.engine.sweep` — the batched simulation backend: compile a
@@ -27,11 +32,13 @@ Spark pools).  It provides:
 """
 
 from repro.engine.allocation import (
+    BudgetAllocation,
     DynamicAllocation,
     PredictiveAllocation,
     StaticAllocation,
 )
 from repro.engine.cluster import Cluster, ExecutorSpec, NodeSpec
+from repro.engine.execution import ExecutionCore
 from repro.engine.metrics import QueryTelemetry
 from repro.engine.optimizer import Optimizer, OptimizerContext, OptimizerRule
 from repro.engine.plan import InputSource, LogicalPlan, OperatorKind, PlanNode
@@ -58,6 +65,8 @@ __all__ = [
     "StaticAllocation",
     "DynamicAllocation",
     "PredictiveAllocation",
+    "BudgetAllocation",
+    "ExecutionCore",
     "simulate_query",
     "simulate_query_sweep",
     "CompiledPlan",

@@ -30,6 +30,7 @@ __all__ = [
     "StaticAllocation",
     "DynamicAllocation",
     "PredictiveAllocation",
+    "BudgetAllocation",
 ]
 
 
@@ -171,6 +172,58 @@ class DynamicAllocation:
 
     def __repr__(self) -> str:
         return f"DA({self.min_executors},{self.max_executors})"
+
+
+class BudgetAllocation:
+    """A shared-pool admission budget as a single-query policy.
+
+    This is exactly how the fleet engine (:mod:`repro.fleet.engine`)
+    treats an admitted query: it starts with *nothing* on the cluster,
+    its whole reserved budget arrives through the provisioning ramp, idle
+    executors may be shed down to a floor, and — unlike
+    :class:`PredictiveAllocation`, whose standing target re-provisions
+    whatever reactive deallocation releases — capacity returned to the
+    pool is never asked for again.  Driving ``simulate_query`` with this
+    policy therefore reproduces a fleet of one query on an uncontended
+    pool bit-for-bit, the differential-parity contract asserted in
+    ``tests/engine/test_execution_parity.py`` and the CI bench gate.
+
+    Args:
+        n: the admitted executor budget, requested once at submission.
+        idle_timeout: reactive deallocation threshold (the fleet's
+            ``idle_release_timeout``), or ``None`` to hold the budget.
+        min_executors: floor idle release never shrinks below.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        idle_timeout: float | None = None,
+        min_executors: int = 1,
+    ) -> None:
+        if n < 1:
+            raise ValueError("budget allocation needs at least 1 executor")
+        if min_executors < 0:
+            raise ValueError("executor floor must be >= 0")
+        self.n = int(n)
+        self.initial_executors = 0
+        self.idle_timeout = idle_timeout
+        self.min_executors = int(min_executors)
+        self.reset()
+
+    def reset(self) -> None:
+        self._requested = False
+
+    def desired_target(self, state: AllocationState) -> int:
+        if not self._requested:
+            self._requested = True
+            return self.n
+        # After the one-shot budget request the target tracks whatever is
+        # still granted, so idle releases stick instead of being undone.
+        return state.active_executors + state.outstanding
+
+    def __repr__(self) -> str:
+        return f"Budget({self.n})"
 
 
 class PredictiveAllocation:

@@ -1,0 +1,465 @@
+"""The shared execution core: one set of simulator physics, two drivers.
+
+Both simulators in this repository play out the same per-query execution
+state machine — executors arrive and idle out, ready stages emit their
+tasks into a FIFO queue, waves of tasks are assigned one-per-core under a
+spill × coordination slowdown, completed stages unlock their dependents,
+and a :class:`~repro.engine.skyline.Skyline` records every fleet-size
+step.  :func:`repro.engine.scheduler.simulate_query` drives one query on
+a dedicated cluster; :class:`repro.fleet.engine.FleetEngine` multiplexes
+many queries on one clock over a shared pool.  The physics must be the
+*same physics*, down to the bit: a fleet of one query on an uncontended
+pool is required to reproduce ``simulate_query`` exactly (runtime, AUC,
+skyline), a contract the differential-parity suite
+(``tests/engine/test_execution_parity.py``) and the CI bench gate assert
+across the whole TPC-DS workload.
+
+This module is that single copy:
+
+- :class:`SchedulerConfig` — the physics knobs (spill, coordination,
+  tick period);
+- :func:`spill_factor` / :func:`coordination_factor` — the two
+  second-order slowdowns the paper's error analysis depends on
+  (Section 5.2);
+- :class:`CompiledPlan` / :func:`compile_plan` — count-invariant
+  simulation state (task-duration arrays, topology) computed once per
+  stage graph and reused by every run, sweep, and fleet serve;
+- :class:`ExecutionCore` — the per-query state machine itself.  Drivers
+  own the event heap, the clock, and the capacity accounting (allocation
+  policies and provisioning on the dedicated path, admission budgets and
+  the arbiter on the fleet path); the core owns everything else.
+
+Task-completion events are identified by ``(stage_id, executor_id)``
+pairs handed to the driver's ``emit`` callback and stored verbatim in
+its heap (event heaps order on a unique push counter, so payloads are
+never compared).  An earlier encoding packed the pair into
+``stage_id * 10_000_000 + executor_id`` — executor ids are unbounded
+under idle-release churn, so a long-lived run could collide an executor
+id into the stage field; the pair representation is collision-free by
+construction.
+
+The simulation is deterministic.  Run-to-run variance (the paper's
+4–7 %) is layered on top by :mod:`repro.experiments.runtime_data`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.engine.cluster import Cluster
+from repro.engine.skyline import Skyline
+from repro.engine.stages import StageGraph
+from repro.sparklens.log import ExecutionLog, StageLog
+
+__all__ = [
+    "SchedulerConfig",
+    "DEFAULT_SCHEDULER_CONFIG",
+    "SimulationResult",
+    "CompiledPlan",
+    "compile_plan",
+    "ExecutionCore",
+    "spill_factor",
+    "coordination_factor",
+]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Physics knobs of the simulator.
+
+    Attributes:
+        spill_coefficient: slowdown per unit of working-set deficit.
+        max_spill_factor: cap on the memory-pressure slowdown.
+        coordination_coefficient: per-task slowdown per 47 extra executors.
+        tick_interval: policy polling / idle-check period (Spark polls at
+            ~1 s granularity too).
+    """
+
+    spill_coefficient: float = 0.8
+    max_spill_factor: float = 3.5
+    coordination_coefficient: float = 0.12
+    tick_interval: float = 1.0
+
+
+DEFAULT_SCHEDULER_CONFIG = SchedulerConfig()
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated query run.
+
+    Attributes:
+        runtime: elapsed seconds from submission to completion.
+        skyline: allocated-executor step function over the run.
+        auc: total executor occupancy ``∫ n_s ds`` (executor-seconds).
+        max_executors: peak allocation during the run.
+        total_tasks: tasks executed.
+        execution_log: per-stage observed task durations (only when
+            ``record_log=True``), consumable by Sparklens.
+        fully_allocated: whether the policy's final target was entirely
+            provisioned before the query finished (Figure 13 marks these
+            queries with a diamond).
+    """
+
+    runtime: float
+    skyline: Skyline
+    auc: float
+    max_executors: int
+    total_tasks: int
+    execution_log: ExecutionLog | None = None
+    fully_allocated: bool = True
+
+
+def spill_factor(
+    graph: StageGraph,
+    active_executors: int,
+    cluster: Cluster,
+    config: SchedulerConfig,
+) -> float:
+    """Memory-pressure slowdown for the current fleet size."""
+    if graph.working_set_bytes <= 0 or active_executors < 1:
+        return 1.0
+    available = active_executors * cluster.executor_memory_bytes
+    deficit = graph.working_set_bytes / available - 1.0
+    if deficit <= 0:
+        return 1.0
+    factor = 1.0 + config.spill_coefficient * deficit
+    return min(factor, config.max_spill_factor)
+
+
+def coordination_factor(
+    active_executors: int, config: SchedulerConfig
+) -> float:
+    """Mild fan-out overhead growing with fleet size."""
+    return 1.0 + config.coordination_coefficient * max(
+        0, active_executors - 1
+    ) / 47.0
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """Count-invariant simulation state, computed once per stage graph.
+
+    Attributes:
+        graph: the source stage DAG (kept for spill physics and metadata).
+        durations: per-stage base task durations (before the run's
+            spill/coordination factor), indexed by ``stage_id``.
+        dependencies: per-stage dependency ids, indexed by ``stage_id``.
+        dependents: per-stage dependent ids (ascending), the reverse edges.
+        roots: stages with no dependencies, in emission (id) order.
+        driver_seconds: serial driver prefix.
+        total_tasks: total task count across stages.
+    """
+
+    graph: StageGraph
+    durations: tuple[np.ndarray, ...]
+    dependencies: tuple[tuple[int, ...], ...]
+    dependents: tuple[tuple[int, ...], ...]
+    roots: tuple[int, ...]
+    driver_seconds: float
+    total_tasks: int
+
+    def simulate(
+        self,
+        n: int,
+        cluster: Cluster,
+        config: SchedulerConfig = DEFAULT_SCHEDULER_CONFIG,
+        record_log: bool = False,
+    ) -> SimulationResult:
+        """One static-allocation run at ``n`` executors (fast path)."""
+        from repro.engine.sweep import _simulate_static
+
+        if n < 1:
+            raise ValueError("static allocation needs at least 1 executor")
+        return _simulate_static(
+            self, cluster.clamp_request(n), cluster, config, record_log
+        )
+
+    def sweep(
+        self,
+        counts: Sequence[int],
+        cluster: Cluster,
+        config: SchedulerConfig = DEFAULT_SCHEDULER_CONFIG,
+        record_log: bool = False,
+    ) -> list[SimulationResult]:
+        """Static-allocation runs at every count (see :mod:`.sweep`)."""
+        from repro.engine.sweep import _simulate_static
+
+        results: dict[int, SimulationResult] = {}
+        out = []
+        for n in counts:
+            n = int(n)
+            if n < 1:
+                raise ValueError(
+                    "static allocation needs at least 1 executor"
+                )
+            n_eff = cluster.clamp_request(n)
+            if n_eff not in results:
+                results[n_eff] = _simulate_static(
+                    self, n_eff, cluster, config, record_log
+                )
+            out.append(results[n_eff])
+        return out
+
+
+def compile_plan(graph: StageGraph) -> CompiledPlan:
+    """Precompute the count-invariant work of simulating ``graph``.
+
+    Task-duration arrays (the skew profile included) are materialized once
+    and marked read-only; topology is flattened into tuples so per-run
+    state never has to rebuild dicts.
+    """
+    durations = []
+    dependents: list[list[int]] = [[] for _ in graph.stages]
+    for stage in graph.stages:
+        base = stage.task_durations()
+        base.flags.writeable = False
+        durations.append(base)
+        for dep in stage.dependencies:
+            dependents[dep].append(stage.stage_id)
+    return CompiledPlan(
+        graph=graph,
+        durations=tuple(durations),
+        dependencies=tuple(
+            tuple(s.dependencies) for s in graph.stages
+        ),
+        dependents=tuple(tuple(d) for d in dependents),
+        roots=tuple(
+            s.stage_id for s in graph.stages if not s.dependencies
+        ),
+        driver_seconds=graph.driver_seconds,
+        total_tasks=graph.total_tasks,
+    )
+
+
+@dataclass
+class _Executor:
+    executor_id: int
+    cores: int
+    free_cores: int
+    idle_since: float | None
+
+
+@dataclass
+class _StageState:
+    remaining_deps: int
+    remaining_tasks: int
+    emitted: bool = False
+    observed: list[float] = field(default_factory=list)
+
+
+#: Driver callback the core hands each started task to:
+#: ``emit(finish_time, stage_id, executor_id)`` schedules the completion.
+TaskEmit = Callable[[float, int, int], None]
+
+
+class ExecutionCore:
+    """Per-query execution state machine shared by both simulators.
+
+    The core owns the query-local state — executor slots, the pending
+    task queue, per-stage dependency counts, the skyline, the observed
+    task log — and exposes the exact transitions the event loops perform.
+    The *driver* owns the clock, the event heap, and capacity accounting:
+    it decides when executors are granted (allocation policy + cluster
+    provisioning on the dedicated path, admission budget + arbiter on the
+    fleet path) and feeds arrivals, task completions, and idle scans back
+    into the core.
+
+    Args:
+        plan: the compiled stage DAG (see :func:`compile_plan`).
+        cluster: executor shape (cores, memory) for assignment physics.
+        config: scheduler physics.
+        record_log: capture observed task durations per stage.
+        start_time: clock instant the query's skyline opens at (query
+            submission on the dedicated path, admission on the fleet
+            path).
+    """
+
+    def __init__(
+        self,
+        plan: CompiledPlan,
+        cluster: Cluster,
+        config: SchedulerConfig = DEFAULT_SCHEDULER_CONFIG,
+        record_log: bool = False,
+        start_time: float = 0.0,
+    ) -> None:
+        self.plan = plan
+        self.graph = plan.graph
+        self.cluster = cluster
+        self.config = config
+        self.record_log = record_log
+        self.executors: dict[int, _Executor] = {}
+        self._exec_ids = itertools.count()
+        self._pending: list[tuple[int, int]] = []  # (stage, task), FIFO
+        self._pending_head = 0
+        self.running = 0
+        self.stages_left = len(plan.durations)
+        self.driver_done = False
+        self.states = [
+            _StageState(
+                remaining_deps=len(deps),
+                remaining_tasks=plan.durations[sid].shape[0],
+            )
+            for sid, deps in enumerate(plan.dependencies)
+        ]
+        self.skyline = Skyline()
+        self.skyline.record(start_time, 0)
+
+    # --- executors -------------------------------------------------------
+    def add_executor(self, now: float) -> int:
+        """One granted executor arrives; returns its id."""
+        eid = next(self._exec_ids)
+        ec = self.cluster.cores_per_executor
+        self.executors[eid] = _Executor(eid, ec, ec, idle_since=now)
+        self.skyline.record(now, len(self.executors))
+        return eid
+
+    def release_idle(
+        self, now: float, timeout: float | None, floor: int
+    ) -> list[int]:
+        """Remove executors idle for ``timeout`` seconds, oldest first.
+
+        Never shrinks the fleet below ``floor``, and never removes
+        anything while runnable tasks are waiting.  Returns the removed
+        executor ids so the driver can return the capacity to its source.
+        """
+        # Keep executors if there is still work for them to pick up, or if
+        # the fleet is already at the floor — both are the common case, so
+        # bail before scanning the fleet.
+        if (
+            timeout is None
+            or self.pending_count() > 0
+            or len(self.executors) <= floor
+        ):
+            return []
+        removable = sorted(
+            (e.idle_since, e.executor_id)
+            for e in self.executors.values()
+            if e.free_cores == e.cores
+            and e.idle_since is not None
+            and now - e.idle_since >= timeout
+        )
+        removed = []
+        for _, eid in removable:
+            if len(self.executors) <= floor:
+                break
+            del self.executors[eid]
+            self.skyline.record(now, len(self.executors))
+            removed.append(eid)
+        return removed
+
+    # --- stages ----------------------------------------------------------
+    def pending_count(self) -> int:
+        return len(self._pending) - self._pending_head
+
+    def emit_ready(self, stage_id: int) -> None:
+        state = self.states[stage_id]
+        if state.emitted or state.remaining_deps > 0:
+            return
+        state.emitted = True
+        for task_idx in range(self.plan.durations[stage_id].shape[0]):
+            self._pending.append((stage_id, task_idx))
+
+    def mark_driver_done(self) -> None:
+        """The serial driver prefix finished; root stages become ready."""
+        self.driver_done = True
+        for sid in range(len(self.states)):
+            self.emit_ready(sid)
+
+    # --- assignment ------------------------------------------------------
+    def assign(self, now: float, emit: TaskEmit) -> None:
+        """Drain pending tasks onto free cores, FIFO.
+
+        Each started task's completion is scheduled through ``emit`` with
+        its ``(stage_id, executor_id)`` identity; the driver must route
+        the completion back via :meth:`complete_task`.
+        """
+        if not self.driver_done or self.pending_count() == 0:
+            return
+        spill = spill_factor(
+            self.graph, len(self.executors), self.cluster, self.config
+        )
+        coord = coordination_factor(len(self.executors), self.config)
+        factor = spill * coord
+        for executor in self.executors.values():
+            while executor.free_cores > 0 and self.pending_count() > 0:
+                stage_id, task_idx = self._pending[self._pending_head]
+                self._pending_head += 1
+                executor.free_cores -= 1
+                executor.idle_since = None
+                duration = self.plan.durations[stage_id][task_idx] * factor
+                self.running += 1
+                emit(now + duration, stage_id, executor.executor_id)
+                if self.record_log:
+                    self.states[stage_id].observed.append(duration)
+            if self.pending_count() == 0:
+                break
+
+    def complete_task(self, now: float, stage_id: int, eid: int) -> bool:
+        """One task finished; returns True when the whole query just did."""
+        self.running -= 1
+        executor = self.executors.get(eid)
+        if executor is not None:
+            executor.free_cores += 1
+            if executor.free_cores == executor.cores:
+                executor.idle_since = now
+        state = self.states[stage_id]
+        state.remaining_tasks -= 1
+        if state.remaining_tasks == 0:
+            self.stages_left -= 1
+            for dep_id in self.plan.dependents[stage_id]:
+                self.states[dep_id].remaining_deps -= 1
+                self.emit_ready(dep_id)
+        return self.stages_left == 0
+
+    # --- starvation ------------------------------------------------------
+    def starved(self) -> bool:
+        """Work is waiting but nothing the core holds can ever run it."""
+        return (
+            self.driver_done
+            and self.pending_count() > 0
+            and self.running == 0
+            and not self.executors
+        )
+
+    # --- results ---------------------------------------------------------
+    def build_log(self) -> ExecutionLog | None:
+        """The observed-duration log (``record_log`` runs only)."""
+        if not self.record_log:
+            return None
+        stage_logs = []
+        for sid, deps in enumerate(self.plan.dependencies):
+            stage_logs.append(
+                StageLog(
+                    stage_id=sid,
+                    dependencies=list(deps),
+                    task_durations=np.asarray(
+                        self.states[sid].observed, dtype=float
+                    ),
+                )
+            )
+        return ExecutionLog(
+            query_id=self.graph.query_id,
+            driver_seconds=self.plan.driver_seconds,
+            stages=stage_logs,
+            cores_per_executor=self.cluster.cores_per_executor,
+            executors_used=self.skyline.max_executors,
+        )
+
+    def result(
+        self, end_time: float, fully_allocated: bool = True
+    ) -> SimulationResult:
+        """Assemble the :class:`SimulationResult` for a finished run."""
+        return SimulationResult(
+            runtime=end_time,
+            skyline=self.skyline,
+            auc=self.skyline.auc(end_time),
+            max_executors=self.skyline.max_executors,
+            total_tasks=self.plan.total_tasks,
+            execution_log=self.build_log(),
+            fully_allocated=fully_allocated,
+        )

@@ -1,24 +1,23 @@
-"""Discrete-event task scheduler.
+"""Discrete-event task scheduler: the dedicated-cluster driver.
 
-This is the execution core of the engine simulator: given a query's stage
-DAG, an allocation policy, and a cluster, it plays out the query —
-executors arrive with provisioning lag, tasks are assigned one-per-core in
-waves, stages respect dependencies, idle executors get released — and
-produces the run time, the executor skyline, and (optionally) an execution
-log that :mod:`repro.sparklens` can analyze post-hoc.
+Given a query's stage DAG, an allocation policy, and a cluster,
+:func:`simulate_query` plays out the query — executors arrive with
+provisioning lag, tasks are assigned one-per-core in waves, stages
+respect dependencies, idle executors get released — and produces the run
+time, the executor skyline, and (optionally) an execution log that
+:mod:`repro.sparklens` can analyze post-hoc.
 
-Two second-order effects are modeled because the paper's error analysis
-depends on them (Section 5.2: prediction errors are largest at small ``n``):
+The execution physics themselves (wave assignment, spill × coordination
+slowdowns, idle release, skyline bookkeeping) live in the shared
+:class:`~repro.engine.execution.ExecutionCore`; this module contributes
+only what is specific to a *dedicated* single-query run: the event heap,
+the allocation-policy polling loop, and executor provisioning through a
+:class:`~repro.engine.cluster.CapacitySource`.  The fleet engine
+(:mod:`repro.fleet.engine`) drives the same core over a shared pool, and
+a fleet of one query on an uncontended pool reproduces this function
+bit-for-bit (see ``tests/engine/test_execution_parity.py``).
 
-- **memory pressure**: when the fleet's aggregate memory is below the
-  query's working set, tasks slow down by a spill factor — this is the
-  real-system behaviour at ``n = 1`` that Sparklens (which replays task
-  durations observed at ``n = 16``) systematically misses;
-- **coordination overhead**: a mild per-task cost growing with the fleet
-  size (shuffle fan-out), which keeps speedup slightly below ideal at
-  large ``n``.
-
-The simulation itself is deterministic.  Run-to-run variance (the paper's
+The simulation is deterministic.  Run-to-run variance (the paper's
 4–7 %) is added by :mod:`repro.experiments.runtime_data` on top.
 """
 
@@ -26,110 +25,31 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-
-import numpy as np
 
 from repro.engine.allocation import AllocationPolicy, AllocationState
 from repro.engine.cluster import UNBOUNDED, CapacitySource, Cluster
-from repro.engine.skyline import Skyline
+from repro.engine.execution import (
+    DEFAULT_SCHEDULER_CONFIG,
+    CompiledPlan,
+    ExecutionCore,
+    SchedulerConfig,
+    SimulationResult,
+    compile_plan,
+    coordination_factor,
+    spill_factor,
+)
 from repro.engine.stages import StageGraph
-from repro.sparklens.log import ExecutionLog, StageLog
 
 __all__ = ["SchedulerConfig", "SimulationResult", "simulate_query"]
 
-
-@dataclass(frozen=True)
-class SchedulerConfig:
-    """Physics knobs of the simulator.
-
-    Attributes:
-        spill_coefficient: slowdown per unit of working-set deficit.
-        max_spill_factor: cap on the memory-pressure slowdown.
-        coordination_coefficient: per-task slowdown per 47 extra executors.
-        tick_interval: policy polling / idle-check period (Spark polls at
-            ~1 s granularity too).
-    """
-
-    spill_coefficient: float = 0.8
-    max_spill_factor: float = 3.5
-    coordination_coefficient: float = 0.12
-    tick_interval: float = 1.0
-
-
-DEFAULT_SCHEDULER_CONFIG = SchedulerConfig()
-
-
-@dataclass
-class SimulationResult:
-    """Outcome of one simulated query run.
-
-    Attributes:
-        runtime: elapsed seconds from submission to completion.
-        skyline: allocated-executor step function over the run.
-        auc: total executor occupancy ``∫ n_s ds`` (executor-seconds).
-        max_executors: peak allocation during the run.
-        total_tasks: tasks executed.
-        execution_log: per-stage observed task durations (only when
-            ``record_log=True``), consumable by Sparklens.
-        fully_allocated: whether the policy's final target was entirely
-            provisioned before the query finished (Figure 13 marks these
-            queries with a diamond).
-    """
-
-    runtime: float
-    skyline: Skyline
-    auc: float
-    max_executors: int
-    total_tasks: int
-    execution_log: ExecutionLog | None = None
-    fully_allocated: bool = True
-
-
-@dataclass
-class _Executor:
-    executor_id: int
-    cores: int
-    free_cores: int
-    idle_since: float | None
-
-
-@dataclass
-class _StageState:
-    remaining_deps: int
-    remaining_tasks: int
-    emitted: bool = False
-    observed: list[float] = field(default_factory=list)
-
-
-def _spill_factor(
-    graph: StageGraph,
-    active_executors: int,
-    cluster: Cluster,
-    config: SchedulerConfig,
-) -> float:
-    """Memory-pressure slowdown for the current fleet size."""
-    if graph.working_set_bytes <= 0 or active_executors < 1:
-        return 1.0
-    available = active_executors * cluster.executor_memory_bytes
-    deficit = graph.working_set_bytes / available - 1.0
-    if deficit <= 0:
-        return 1.0
-    factor = 1.0 + config.spill_coefficient * deficit
-    return min(factor, config.max_spill_factor)
-
-
-def _coordination_factor(
-    active_executors: int, config: SchedulerConfig
-) -> float:
-    """Mild fan-out overhead growing with fleet size."""
-    return 1.0 + config.coordination_coefficient * max(
-        0, active_executors - 1
-    ) / 47.0
+# Backwards-compatible aliases: the physics moved to repro.engine.execution
+# when the scheduler and the fleet engine were unified behind one core.
+_spill_factor = spill_factor
+_coordination_factor = coordination_factor
 
 
 def simulate_query(
-    graph: StageGraph,
+    graph: StageGraph | CompiledPlan,
     policy: AllocationPolicy,
     cluster: Cluster,
     config: SchedulerConfig = DEFAULT_SCHEDULER_CONFIG,
@@ -139,7 +59,9 @@ def simulate_query(
     """Simulate one query run under an allocation policy.
 
     Args:
-        graph: the query's stage DAG.
+        graph: the query's stage DAG, or an already-compiled
+            :class:`~repro.engine.execution.CompiledPlan` (reuse the
+            compiled form when simulating the same query repeatedly).
         policy: allocation policy (reset before use).
         cluster: cluster manager (capacity + provisioning lag).
         config: scheduler physics.
@@ -152,99 +74,37 @@ def simulate_query(
             idle executors.
 
     Returns:
-        A :class:`SimulationResult`.
+        A :class:`~repro.engine.execution.SimulationResult`.
     """
+    plan = graph if isinstance(graph, CompiledPlan) else compile_plan(graph)
     policy.reset()
-    ec = cluster.cores_per_executor
+    core = ExecutionCore(plan, cluster, config, record_log=record_log)
 
     # --- event machinery ------------------------------------------------
     counter = itertools.count()
-    events: list[tuple[float, int, str, int]] = []
+    events: list[tuple[float, int, str, tuple[int, int] | None]] = []
 
-    def push(time: float, kind: str, payload: int = 0) -> None:
+    def push(
+        time: float, kind: str, payload: tuple[int, int] | None = None
+    ) -> None:
         heapq.heappush(events, (time, next(counter), kind, payload))
 
-    # --- executors -------------------------------------------------------
-    executors: dict[int, _Executor] = {}
-    exec_ids = itertools.count()
+    def emit_task(finish: float, stage_id: int, eid: int) -> None:
+        push(finish, "task_done", (stage_id, eid))
+
+    # --- capacity accounting ---------------------------------------------
     outstanding = 0
     granted_total = 0  # active + outstanding, i.e. everything provisioned
-    skyline = Skyline()
 
-    def add_executor(now: float) -> None:
-        eid = next(exec_ids)
-        executors[eid] = _Executor(eid, ec, ec, idle_since=now)
-        skyline.record(now, len(executors))
-
-    def remove_executor(now: float, eid: int) -> None:
-        nonlocal granted_total
-        del executors[eid]
-        granted_total -= 1
-        capacity_source.release(1)
-        skyline.record(now, len(executors))
-
-    # --- stages ----------------------------------------------------------
-    states: dict[int, _StageState] = {}
-    dependents: dict[int, list[int]] = {s.stage_id: [] for s in graph.stages}
-    durations: dict[int, np.ndarray] = {}
-    for stage in graph.stages:
-        states[stage.stage_id] = _StageState(
-            remaining_deps=len(stage.dependencies),
-            remaining_tasks=stage.num_tasks,
-        )
-        durations[stage.stage_id] = stage.task_durations()
-        for dep in stage.dependencies:
-            dependents[dep].append(stage.stage_id)
-
-    pending: list[tuple[int, int]] = []  # (stage_id, task_index), FIFO
-    pending_head = 0
-    running = 0
-    stages_left = len(graph.stages)
-    driver_done = False
-
-    def emit_ready(stage_id: int) -> None:
-        state = states[stage_id]
-        if state.emitted or state.remaining_deps > 0:
-            return
-        state.emitted = True
-        for task_idx in range(graph.stages[stage_id].num_tasks):
-            pending.append((stage_id, task_idx))
-
-    def pending_count() -> int:
-        return len(pending) - pending_head
-
-    # --- assignment ------------------------------------------------------
-    def assign(now: float) -> None:
-        nonlocal pending_head, running
-        if not driver_done or pending_count() == 0:
-            return
-        spill = _spill_factor(graph, len(executors), cluster, config)
-        coord = _coordination_factor(len(executors), config)
-        factor = spill * coord
-        for executor in executors.values():
-            while executor.free_cores > 0 and pending_count() > 0:
-                stage_id, task_idx = pending[pending_head]
-                pending_head += 1
-                executor.free_cores -= 1
-                executor.idle_since = None
-                duration = durations[stage_id][task_idx] * factor
-                running += 1
-                push(now + duration, "task_done", _pack(stage_id, executor.executor_id))
-                if record_log:
-                    states[stage_id].observed.append(duration)
-            if pending_count() == 0:
-                break
-
-    # --- policy ----------------------------------------------------------
     def poll_policy(now: float) -> None:
         nonlocal outstanding, granted_total
         state = AllocationState(
             time=now,
-            pending_tasks=pending_count(),
-            running_tasks=running,
-            active_executors=len(executors),
+            pending_tasks=core.pending_count(),
+            running_tasks=core.running,
+            active_executors=len(core.executors),
             outstanding=outstanding,
-            cores_per_executor=ec,
+            cores_per_executor=cluster.cores_per_executor,
         )
         target = cluster.clamp_request(policy.desired_target(state))
         if target > granted_total:
@@ -256,41 +116,14 @@ def simulate_query(
             outstanding += len(times)
             granted_total += len(times)
 
-    def check_idle(now: float) -> None:
-        timeout = policy.idle_timeout
-        # Keep executors if there is still work for them to pick up, or if
-        # the fleet is already at the policy floor — both are the common
-        # case, so bail before scanning the fleet.
-        if (
-            timeout is None
-            or pending_count() > 0
-            or len(executors) <= policy.min_executors
-        ):
-            return
-        removable = sorted(
-            (
-                (e.idle_since, e.executor_id)
-                for e in executors.values()
-                if e.free_cores == e.cores
-                and e.idle_since is not None
-                and now - e.idle_since >= timeout
-            ),
-        )
-        for _, eid in removable:
-            if len(executors) <= policy.min_executors:
-                break
-            remove_executor(now, eid)
-
     # --- bootstrap ---------------------------------------------------------
     initial = capacity_source.acquire(
         cluster.clamp_request(policy.initial_executors)
     )
     for _ in range(initial):
-        add_executor(0.0)
+        core.add_executor(0.0)
     granted_total = initial
-    if initial == 0:
-        skyline.record(0.0, 0)
-    push(graph.driver_seconds, "driver_done")
+    push(plan.driver_seconds, "driver_done")
     push(config.tick_interval, "tick")
     poll_policy(0.0)
 
@@ -300,47 +133,31 @@ def simulate_query(
     while events:
         now, _, kind, payload = heapq.heappop(events)
         if kind == "driver_done":
-            driver_done = True
-            for stage in graph.stages:
-                emit_ready(stage.stage_id)
-            assign(now)
+            core.mark_driver_done()
+            core.assign(now, emit_task)
         elif kind == "exec_arrive":
             outstanding -= 1
-            add_executor(now)
-            assign(now)
+            core.add_executor(now)
+            core.assign(now, emit_task)
         elif kind == "task_done":
-            stage_id, eid = _unpack(payload)
-            running -= 1
-            executor = executors.get(eid)
-            if executor is not None:
-                executor.free_cores += 1
-                if executor.free_cores == executor.cores:
-                    executor.idle_since = now
-            state = states[stage_id]
-            state.remaining_tasks -= 1
-            if state.remaining_tasks == 0:
-                stages_left -= 1
-                for dep_id in dependents[stage_id]:
-                    states[dep_id].remaining_deps -= 1
-                    emit_ready(dep_id)
-            if stages_left == 0:
+            stage_id, eid = payload
+            if core.complete_task(now, stage_id, eid):
                 end_time = now
                 break
-            assign(now)
+            core.assign(now, emit_task)
         elif kind == "tick":
-            check_idle(now)
+            removed = core.release_idle(
+                now, policy.idle_timeout, policy.min_executors
+            )
+            if removed:
+                granted_total -= len(removed)
+                capacity_source.release(len(removed))
             push(now + config.tick_interval, "tick")
         poll_policy(now)
         # Stall guard: work is waiting but nothing can ever run it — the
         # policy refuses executors and none are on the way.  Without this
         # the tick chain would spin forever.
-        if (
-            driver_done
-            and pending_count() > 0
-            and running == 0
-            and not executors
-            and outstanding == 0
-        ):
+        if core.starved() and outstanding == 0:
             raise RuntimeError(
                 "simulation stalled: tasks are pending but the allocation "
                 "policy provides no executors"
@@ -356,40 +173,4 @@ def simulate_query(
     # the capacity source now that the query is done.
     capacity_source.release(granted_total)
 
-    log = None
-    if record_log:
-        stage_logs = []
-        for stage in graph.stages:
-            observed = states[stage.stage_id].observed
-            stage_logs.append(
-                StageLog(
-                    stage_id=stage.stage_id,
-                    dependencies=list(stage.dependencies),
-                    task_durations=np.asarray(observed, dtype=float),
-                )
-            )
-        log = ExecutionLog(
-            query_id=graph.query_id,
-            driver_seconds=graph.driver_seconds,
-            stages=stage_logs,
-            cores_per_executor=ec,
-            executors_used=skyline.max_executors,
-        )
-
-    return SimulationResult(
-        runtime=end_time,
-        skyline=skyline,
-        auc=skyline.auc(end_time),
-        max_executors=skyline.max_executors,
-        total_tasks=graph.total_tasks,
-        execution_log=log,
-        fully_allocated=outstanding == 0,
-    )
-
-
-def _pack(stage_id: int, executor_id: int) -> int:
-    return stage_id * 10_000_000 + executor_id
-
-
-def _unpack(payload: int) -> tuple[int, int]:
-    return payload // 10_000_000, payload % 10_000_000
+    return core.result(end_time, fully_allocated=outstanding == 0)

@@ -35,7 +35,6 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -47,111 +46,21 @@ from repro.engine.cluster import (
     Cluster,
     UnboundedCapacity,
 )
-from repro.engine.scheduler import (
+from repro.engine.execution import (
     DEFAULT_SCHEDULER_CONFIG,
+    CompiledPlan,
     SchedulerConfig,
     SimulationResult,
-    _coordination_factor,
-    _spill_factor,
-    simulate_query,
+    compile_plan,
+    coordination_factor,
+    spill_factor,
 )
+from repro.engine.scheduler import simulate_query
 from repro.engine.skyline import Skyline
 from repro.engine.stages import StageGraph
 from repro.sparklens.log import ExecutionLog, StageLog
 
 __all__ = ["CompiledPlan", "compile_plan", "simulate_query_sweep"]
-
-
-@dataclass(frozen=True)
-class CompiledPlan:
-    """Count-invariant simulation state, computed once per stage graph.
-
-    Attributes:
-        graph: the source stage DAG (kept for spill physics and metadata).
-        durations: per-stage base task durations (before the run's
-            spill/coordination factor), indexed by ``stage_id``.
-        dependencies: per-stage dependency ids, indexed by ``stage_id``.
-        dependents: per-stage dependent ids (ascending), the reverse edges.
-        roots: stages with no dependencies, in emission (id) order.
-        driver_seconds: serial driver prefix.
-        total_tasks: total task count across stages.
-    """
-
-    graph: StageGraph
-    durations: tuple[np.ndarray, ...]
-    dependencies: tuple[tuple[int, ...], ...]
-    dependents: tuple[tuple[int, ...], ...]
-    roots: tuple[int, ...]
-    driver_seconds: float
-    total_tasks: int
-
-    def simulate(
-        self,
-        n: int,
-        cluster: Cluster,
-        config: SchedulerConfig = DEFAULT_SCHEDULER_CONFIG,
-        record_log: bool = False,
-    ) -> SimulationResult:
-        """One static-allocation run at ``n`` executors (fast path)."""
-        if n < 1:
-            raise ValueError("static allocation needs at least 1 executor")
-        return _simulate_static(
-            self, cluster.clamp_request(n), cluster, config, record_log
-        )
-
-    def sweep(
-        self,
-        counts: Sequence[int],
-        cluster: Cluster,
-        config: SchedulerConfig = DEFAULT_SCHEDULER_CONFIG,
-        record_log: bool = False,
-    ) -> list[SimulationResult]:
-        """Static-allocation runs at every count (see module docs)."""
-        results: dict[int, SimulationResult] = {}
-        out = []
-        for n in counts:
-            n = int(n)
-            if n < 1:
-                raise ValueError(
-                    "static allocation needs at least 1 executor"
-                )
-            n_eff = cluster.clamp_request(n)
-            if n_eff not in results:
-                results[n_eff] = _simulate_static(
-                    self, n_eff, cluster, config, record_log
-                )
-            out.append(results[n_eff])
-        return out
-
-
-def compile_plan(graph: StageGraph) -> CompiledPlan:
-    """Precompute the count-invariant work of simulating ``graph``.
-
-    Task-duration arrays (the skew profile included) are materialized once
-    and marked read-only; topology is flattened into tuples so per-run
-    state never has to rebuild dicts.
-    """
-    durations = []
-    dependents: list[list[int]] = [[] for _ in graph.stages]
-    for stage in graph.stages:
-        base = stage.task_durations()
-        base.flags.writeable = False
-        durations.append(base)
-        for dep in stage.dependencies:
-            dependents[dep].append(stage.stage_id)
-    return CompiledPlan(
-        graph=graph,
-        durations=tuple(durations),
-        dependencies=tuple(
-            tuple(s.dependencies) for s in graph.stages
-        ),
-        dependents=tuple(tuple(d) for d in dependents),
-        roots=tuple(
-            s.stage_id for s in graph.stages if not s.dependencies
-        ),
-        driver_seconds=graph.driver_seconds,
-        total_tasks=graph.total_tasks,
-    )
 
 
 def _simulate_static(
@@ -175,8 +84,8 @@ def _simulate_static(
     """
     graph = plan.graph
     slots = n_eff * cluster.cores_per_executor
-    factor = _spill_factor(graph, n_eff, cluster, config) * (
-        _coordination_factor(n_eff, config)
+    factor = spill_factor(graph, n_eff, cluster, config) * (
+        coordination_factor(n_eff, config)
     )
 
     # Slot availability times, kept sorted ascending.  A value is the time
@@ -332,7 +241,7 @@ def simulate_query_sweep(
         return plan.sweep(counts, cluster, config, record_log)
     return [
         simulate_query(
-            plan.graph,
+            plan,
             policy_factory(int(n)),
             cluster,
             config,

@@ -10,8 +10,10 @@ cannot have.  This subpackage simulates that setting end to end:
 - :mod:`~repro.fleet.admission` — the capacity arbiter: per-query executor
   budgets granted out of a finite pool, with FIFO and fair-share queueing;
 - :mod:`~repro.fleet.engine` — the fleet engine: many query runs
-  multiplexed on one discrete-event clock, each executing its stage DAG on
-  its granted share of the pool;
+  multiplexed on one discrete-event clock, each executing its stage DAG
+  (via the shared :class:`repro.engine.execution.ExecutionCore`) on its
+  granted share of the pool, with optional mid-query dynamic scaling
+  through any :mod:`repro.engine.allocation` policy;
 - :mod:`~repro.fleet.prediction` — the online prediction service: a
   trained AutoExecutor behind a plan-signature memo cache with batched
   portable-runtime inference, so per-query selection overhead is measured

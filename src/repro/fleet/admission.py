@@ -13,8 +13,15 @@ next is the admission policy's call:
   (ties broken by arrival order).  Small tenants are not starved by big
   bursty ones, and capacity that would sit idle under FIFO gets used.
 
-The arbiter also exposes per-query :class:`PoolShare` adapters that
-implement :class:`repro.engine.cluster.CapacitySource`, so a single
+Two acquisition paths exist side by side.  :meth:`CapacityArbiter.submit`
+/ :meth:`~CapacityArbiter.admit` is the *queued, atomic* path: a query's
+admission budget is reserved whole or not at all, under the admission
+policy's ordering.  :meth:`CapacityArbiter.try_acquire` is the
+*immediate, partial* path: grant whatever fits right now, used by the
+fleet engine's mid-query dynamic scaling (growing an already-admitted
+query's grant under backlog pressure) and by the per-query
+:class:`PoolShare` adapters, which implement
+:class:`repro.engine.cluster.CapacitySource` so a single
 ``simulate_query`` run can draw its executors straight from the shared
 pool instead of an infinite one.
 """
@@ -195,9 +202,11 @@ class CapacityArbiter:
     def try_acquire(self, query_index: int, app_id: int, count: int) -> int:
         """Immediately grant up to ``count`` executors, bypassing the queue.
 
-        This is the incremental path :class:`PoolShare` uses for single
-        query runs; the fleet engine itself always reserves atomically
-        through :meth:`submit`/:meth:`admit`.
+        This is the incremental path: :class:`PoolShare` uses it for
+        single query runs, and the fleet engine uses it to *grow* an
+        admitted query's grant mid-run under a dynamic-scaling policy
+        (initial budgets always reserve atomically through
+        :meth:`submit`/:meth:`admit`).
         """
         granted = max(0, min(int(count), self.free))
         if granted:

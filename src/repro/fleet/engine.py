@@ -8,40 +8,55 @@ executor budget the capacity arbiter granted it, and every grant and
 release moves shared pool state that decides when the *next* queued query
 may start.
 
-The design mirrors the single-query scheduler (the same event kinds, the
-same task-wave assignment, the same spill/coordination factors applied to
-each query's own fleet) so that a fleet of one query on an uncontended
-pool behaves like ``simulate_query`` — but all queries share one event
-heap and one :class:`~repro.fleet.admission.CapacityArbiter`.
+Both simulators drive the same per-query state machine, the shared
+:class:`~repro.engine.execution.ExecutionCore`; this module contributes
+only the fleet-specific parts — the shared event heap, admission through
+the :class:`~repro.fleet.admission.CapacityArbiter`, and per-query
+capacity accounting against the pool.  The contract that keeps the two
+paths honest: a fleet of one query on an uncontended pool reproduces
+``simulate_query`` under :class:`~repro.engine.allocation.BudgetAllocation`
+*bit-for-bit* — runtime, AUC, and skyline — a property asserted across
+the whole TPC-DS workload in ``tests/engine/test_execution_parity.py``
+and re-checked by the CI bench gate.
 
-Allocators decide each query's budget.  Three are provided: a
+Allocators decide each query's *admission budget*.  Three are provided: a
 :func:`static_allocator` (the default-configuration baseline), the online
 :class:`~repro.fleet.prediction.PredictionService` (AutoExecutor), and an
 :func:`oracle_allocator` that probes the simulator itself for the
 cheapest near-optimal count (the upper bound predictions chase).
+
+On top of the fixed budget, :attr:`FleetConfig.scaling` turns on
+*mid-query dynamic scaling*: each admitted query gets an
+:class:`~repro.engine.allocation.AllocationPolicy` (built from its
+budget) that is polled after every one of its events and at every tick,
+exactly like the dedicated-cluster scheduler polls its policy.  Scale-up
+requests draw additional executors from whatever the pool can spare
+right now (no queueing — the reservation the query queued for was its
+admission budget), and idle executors shed below the budget return to
+the pool for other queries; the arbiter keeps the pool invariant either
+way.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.engine.allocation import AllocationPolicy, AllocationState
 from repro.engine.cluster import Cluster
-from repro.engine.scheduler import (
+from repro.engine.execution import (
     DEFAULT_SCHEDULER_CONFIG,
+    CompiledPlan,
+    ExecutionCore,
     SchedulerConfig,
-    _coordination_factor,
-    _pack,
-    _spill_factor,
-    _unpack,
+    compile_plan,
 )
 from repro.engine.skyline import Skyline
 from repro.engine.stages import StageGraph
-from repro.engine.sweep import CompiledPlan, compile_plan
 from repro.fleet.admission import (
     AdmissionPolicy,
     AdmissionRequest,
@@ -62,6 +77,10 @@ __all__ = [
 #: either a plain int or a :class:`repro.fleet.prediction.Prediction`.
 Allocator = Callable[[str, object], object]
 
+#: A scaling factory maps an admitted budget to the per-query policy that
+#: governs mid-run growth and idle release for that query.
+ScalingFactory = Callable[[int], AllocationPolicy]
+
 
 @dataclass(frozen=True)
 class FleetConfig:
@@ -69,15 +88,26 @@ class FleetConfig:
 
     Attributes:
         scheduler: per-query physics (same knobs as ``simulate_query``).
-        tick_interval: idle-check polling period.
+        tick_interval: idle-check / policy polling period.
         idle_release_timeout: seconds of executor idleness before it is
             returned to the pool mid-query (``None`` holds budgets until
-            completion).
+            completion).  Ignored when ``scaling`` is set — the per-query
+            policy's ``idle_timeout`` governs instead.
         min_executors_per_query: floor idle release never shrinks below —
-            a started query must be able to finish.
+            a started query must be able to finish.  Ignored when
+            ``scaling`` is set (the policy's ``min_executors`` governs).
         charge_prediction_overhead: add the allocator's measured selection
             seconds to the query's pre-admission latency (Section 5.6's
             overheads, paid where they occur: on the critical path).
+        scaling: optional per-query dynamic-scaling mode — a factory
+            mapping the admitted budget to an
+            :class:`~repro.engine.allocation.AllocationPolicy` (e.g.
+            ``lambda budget: DynamicAllocation(1, 2 * budget)``).  The
+            policy is polled on the query's events and every tick; growth
+            beyond the budget is granted from the pool's spare capacity,
+            idle executors are shed at the policy's own timeout/floor.
+            The policy's ``initial_executors`` is ignored: the admission
+            budget plays that role.
     """
 
     scheduler: SchedulerConfig = DEFAULT_SCHEDULER_CONFIG
@@ -85,20 +115,7 @@ class FleetConfig:
     idle_release_timeout: float | None = 30.0
     min_executors_per_query: int = 1
     charge_prediction_overhead: bool = True
-
-
-@dataclass
-class _Executor:
-    free_cores: int
-    cores: int
-    idle_since: float | None
-
-
-@dataclass
-class _StageState:
-    remaining_deps: int
-    remaining_tasks: int
-    emitted: bool = False
+    scaling: ScalingFactory | None = None
 
 
 @dataclass
@@ -106,57 +123,15 @@ class _QueryRun:
     """Mutable per-query execution state inside the fleet."""
 
     arrival: QueryArrival
-    graph: StageGraph
+    core: ExecutionCore
     budget: int
     admit_time: float
     prediction_cached: bool | None
     prediction_seconds: float
-    compiled: CompiledPlan | None = None
-    executors: dict[int, _Executor] = field(default_factory=dict)
-    next_eid: int = 0
+    emit: Callable[[float, int, int], None]
+    policy: AllocationPolicy | None = None
     outstanding: int = 0
-    pending: list[tuple[int, int]] = field(default_factory=list)
-    pending_head: int = 0
-    running: int = 0
-    stages_left: int = 0
-    driver_done: bool = False
     finished: bool = False
-    skyline: Skyline = field(default_factory=Skyline)
-    states: dict[int, _StageState] = field(default_factory=dict)
-    durations: dict | tuple = field(default_factory=dict)
-    dependents: dict | tuple = field(default_factory=dict)
-
-    def __post_init__(self) -> None:
-        self.stages_left = len(self.graph.stages)
-        for stage in self.graph.stages:
-            self.states[stage.stage_id] = _StageState(
-                remaining_deps=len(stage.dependencies),
-                remaining_tasks=stage.num_tasks,
-            )
-        if self.compiled is not None and self.compiled.graph is self.graph:
-            # Recurring queries are the fleet's common case: reuse the
-            # read-only duration arrays and reverse edges compiled once
-            # per query signature instead of rebuilding them every run.
-            self.durations = self.compiled.durations
-            self.dependents = self.compiled.dependents
-            return
-        self.durations = {}
-        self.dependents = {s.stage_id: [] for s in self.graph.stages}
-        for stage in self.graph.stages:
-            self.durations[stage.stage_id] = stage.task_durations()
-            for dep in stage.dependencies:
-                self.dependents[dep].append(stage.stage_id)
-
-    def pending_count(self) -> int:
-        return len(self.pending) - self.pending_head
-
-    def emit_ready(self, stage_id: int) -> None:
-        state = self.states[stage_id]
-        if state.emitted or state.remaining_deps > 0:
-            return
-        state.emitted = True
-        for task_idx in range(self.graph.stages[stage_id].num_tasks):
-            self.pending.append((stage_id, task_idx))
 
 
 class FleetEngine:
@@ -202,82 +177,132 @@ class FleetEngine:
 
     def serve(self, arrivals: Sequence[QueryArrival]) -> FleetMetrics:
         """Play out the whole stream; returns the fleet's metrics."""
-        if not arrivals:
+        # Queries are keyed internally by *stream position*, never by the
+        # user-supplied ``QueryArrival.index`` field — an earlier version
+        # mixed the two, silently mismatching allocator decisions with
+        # queries whenever index fields did not equal list positions.
+        stream = list(arrivals)
+        if not stream:
             raise ValueError("cannot serve an empty arrival stream")
+        if len({a.index for a in stream}) != len(stream):
+            raise ValueError("arrival stream has duplicate indices")
         arbiter = CapacityArbiter(self.capacity, self.admission)
         pool_skyline = Skyline()
         pool_skyline.record(0.0, 0)
         config = self.config
-        ec = self.cluster.cores_per_executor
+        cluster = self.cluster
+        ec = cluster.cores_per_executor
+        ticks_wanted = (
+            config.idle_release_timeout is not None
+            or config.scaling is not None
+        )
+        ticking = False
 
         counter = itertools.count()
-        events: list[tuple[float, int, str, int, int]] = []
+        events: list[tuple[float, int, str, int, object]] = []
 
-        def push(time: float, kind: str, a: int = 0, b: int = 0) -> None:
-            heapq.heappush(events, (time, next(counter), kind, a, b))
+        def push(time: float, kind: str, q: int = -1, payload=None) -> None:
+            heapq.heappush(events, (time, next(counter), kind, q, payload))
 
-        by_index = {a.index: a for a in arrivals}
-        if len(by_index) != len(arrivals):
-            raise ValueError("arrival stream has duplicate indices")
         runs: dict[int, _QueryRun] = {}
-        requests: dict[int, AdmissionRequest] = {}
         decisions: dict[int, tuple[int, bool | None, float]] = {}
         records: dict[int, QueryRecord] = {}
-        unfinished = len(arrivals)
+        unfinished = len(stream)
 
         def record_pool(now: float) -> None:
             pool_skyline.record(now, arbiter.in_use)
 
         # --- per-query execution ----------------------------------------
-        def assign(now: float, q: int) -> None:
-            run = runs[q]
-            if not run.driver_done or run.pending_count() == 0:
-                return
-            spill = _spill_factor(
-                run.graph, len(run.executors), self.cluster, config.scheduler
+        def idle_params(run: _QueryRun) -> tuple[float | None, int]:
+            if run.policy is not None:
+                return run.policy.idle_timeout, run.policy.min_executors
+            return (
+                config.idle_release_timeout,
+                max(1, config.min_executors_per_query),
             )
-            coord = _coordination_factor(len(run.executors), config.scheduler)
-            factor = spill * coord
-            for eid, executor in run.executors.items():
-                while executor.free_cores > 0 and run.pending_count() > 0:
-                    stage_id, task_idx = run.pending[run.pending_head]
-                    run.pending_head += 1
-                    executor.free_cores -= 1
-                    executor.idle_since = None
-                    duration = run.durations[stage_id][task_idx] * factor
-                    run.running += 1
-                    push(now + duration, "task_done", q, _pack(stage_id, eid))
-                if run.pending_count() == 0:
-                    break
+
+        def poll_scaling(now: float, q: int) -> None:
+            """Mirror the dedicated scheduler's per-event policy poll."""
+            run = runs[q]
+            policy = run.policy
+            if policy is None or run.finished:
+                return
+            core = run.core
+            state = AllocationState(
+                time=now - run.admit_time,
+                pending_tasks=core.pending_count(),
+                running_tasks=core.running,
+                active_executors=len(core.executors),
+                outstanding=run.outstanding,
+                cores_per_executor=ec,
+            )
+            target = min(self.capacity, policy.desired_target(state))
+            granted = len(core.executors) + run.outstanding
+            if target > granted:
+                # Scale-up grabs whatever the pool can spare right now;
+                # the admission queue is only for the initial budget.
+                got = arbiter.try_acquire(
+                    q, run.arrival.app_id, target - granted
+                )
+                if got:
+                    for t in cluster.grant_schedule(now, got):
+                        push(t, "exec_arrive", q)
+                    run.outstanding += got
+                    record_pool(now)
 
         def start_query(now: float, request: AdmissionRequest) -> None:
             q = request.query_index
-            arrival = by_index[q]
+            arrival = stream[q]
             graph = self.workload.stage_graph(arrival.query_id)
             _, cached, pred_seconds = decisions[q]
+            policy = None
+            if config.scaling is not None:
+                policy = config.scaling(request.executors)
+                policy.reset()
             run = _QueryRun(
                 arrival=arrival,
-                graph=graph,
+                core=ExecutionCore(
+                    self._compiled_plan(arrival.query_id, graph),
+                    cluster,
+                    config.scheduler,
+                    start_time=now,
+                ),
                 budget=request.executors,
                 admit_time=now,
                 prediction_cached=cached,
                 prediction_seconds=pred_seconds,
-                compiled=self._compiled_plan(arrival.query_id, graph),
+                emit=lambda t, sid, eid, q=q: push(
+                    t, "task_done", q, (sid, eid)
+                ),
+                policy=policy,
+                outstanding=request.executors,
             )
-            run.outstanding = request.executors
             runs[q] = run
-            push(now + graph.driver_seconds, "driver_done", q)
-            for t in self.cluster.grant_schedule(now, request.executors):
+            # Push order mirrors the dedicated scheduler's bootstrap
+            # (driver_done, then the tick chain, then executor arrivals)
+            # so that same-instant ties break identically in both paths.
+            push(now + run.core.plan.driver_seconds, "driver_done", q)
+            start_ticks(now)
+            for t in cluster.grant_schedule(now, request.executors):
                 push(t, "exec_arrive", q)
+            poll_scaling(now, q)
+
+        def start_ticks(now: float) -> None:
+            # The tick chain is anchored at the first admission, matching
+            # the single-query scheduler's ticks at k·tick_interval from
+            # query submission.
+            nonlocal ticking
+            if ticks_wanted and not ticking:
+                ticking = True
+                push(now + config.tick_interval, "tick")
 
         def finish_query(now: float, q: int) -> None:
             nonlocal unfinished
             run = runs[q]
             run.finished = True
             unfinished -= 1
-            arrived = len(run.executors)
-            run.executors.clear()
-            run.skyline.record(now, 0)
+            arrived = len(run.core.executors)
+            run.core.executors.clear()
             if arrived:
                 arbiter.release(q, arrived)
                 record_pool(now)
@@ -288,9 +313,10 @@ class FleetEngine:
                 admit_time=run.admit_time,
                 finish_time=now,
                 executors_granted=run.budget,
-                auc=run.skyline.auc(now),
+                auc=run.core.skyline.auc(now),
                 prediction_cached=run.prediction_cached,
                 prediction_seconds=run.prediction_seconds,
+                skyline=run.core.skyline,
             )
 
         def drain_admissions(now: float) -> None:
@@ -301,48 +327,28 @@ class FleetEngine:
                     start_query(now, request)
 
         def release_idle(now: float) -> None:
-            timeout = config.idle_release_timeout
-            if timeout is None:
-                return
-            floor = max(1, config.min_executors_per_query)
             released = False
             for q, run in runs.items():
-                if (
-                    run.finished
-                    or not run.driver_done
-                    or run.pending_count() > 0
-                    or len(run.executors) <= floor
-                ):
+                if run.finished:
                     continue
-                removable = sorted(
-                    (e.idle_since, eid)
-                    for eid, e in run.executors.items()
-                    if e.free_cores == e.cores
-                    and e.idle_since is not None
-                    and now - e.idle_since >= timeout
-                )
-                for _, eid in removable:
-                    if len(run.executors) <= floor:
-                        break
-                    del run.executors[eid]
-                    run.skyline.record(now, len(run.executors))
-                    arbiter.release(q, 1)
+                timeout, floor = idle_params(run)
+                removed = run.core.release_idle(now, timeout, floor)
+                if removed:
+                    arbiter.release(q, len(removed))
                     released = True
             if released:
                 record_pool(now)
                 drain_admissions(now)
 
         # --- bootstrap ---------------------------------------------------
-        for i, arrival in enumerate(arrivals):
-            push(arrival.arrival_time, "arrive", i)
-        if config.idle_release_timeout is not None:
-            push(config.tick_interval, "tick")
+        for pos, arrival in enumerate(stream):
+            push(arrival.arrival_time, "arrive", pos)
 
         # --- main loop ---------------------------------------------------
         while events:
-            now, _, kind, a, b = heapq.heappop(events)
+            now, _, kind, q, payload = heapq.heappop(events)
             if kind == "arrive":
-                arrival = arrivals[a]
+                arrival = stream[q]
                 plan = self.workload.optimized_plan(arrival.query_id)
                 decision = self.allocator(arrival.query_id, plan)
                 if hasattr(decision, "executors"):
@@ -352,95 +358,92 @@ class FleetEngine:
                 else:
                     budget, cached, seconds = int(decision), None, 0.0
                 budget = max(1, min(budget, self.capacity))
-                decisions[arrival.index] = (budget, cached, seconds)
+                decisions[q] = (budget, cached, seconds)
                 delay = (
                     seconds if config.charge_prediction_overhead else 0.0
                 )
-                push(now + delay, "submit", arrival.index)
+                push(now + delay, "submit", q)
             elif kind == "submit":
-                arrival = by_index[a]
-                budget, _, _ = decisions[a]
-                requests[a] = AdmissionRequest(
-                    query_index=a,
-                    app_id=arrival.app_id,
-                    executors=budget,
-                    submit_time=now,
+                arrival = stream[q]
+                budget, _, _ = decisions[q]
+                arbiter.submit(
+                    AdmissionRequest(
+                        query_index=q,
+                        app_id=arrival.app_id,
+                        executors=budget,
+                        submit_time=now,
+                    )
                 )
-                arbiter.submit(requests[a])
                 drain_admissions(now)
             elif kind == "driver_done":
-                run = runs[a]
-                run.driver_done = True
-                for stage in run.graph.stages:
-                    run.emit_ready(stage.stage_id)
-                assign(now, a)
+                run = runs[q]
+                run.core.mark_driver_done()
+                run.core.assign(now, run.emit)
+                poll_scaling(now, q)
             elif kind == "exec_arrive":
-                run = runs[a]
+                run = runs[q]
                 run.outstanding -= 1
                 if run.finished:
                     # The query beat its own provisioning ramp; hand the
                     # late executor straight back to the pool.
-                    arbiter.release(a, 1)
+                    arbiter.release(q, 1)
                     record_pool(now)
                     drain_admissions(now)
                 else:
-                    eid = run.next_eid
-                    run.next_eid += 1
-                    run.executors[eid] = _Executor(
-                        free_cores=ec, cores=ec, idle_since=now
-                    )
-                    run.skyline.record(now, len(run.executors))
-                    assign(now, a)
+                    run.core.add_executor(now)
+                    run.core.assign(now, run.emit)
+                    poll_scaling(now, q)
             elif kind == "task_done":
-                run = runs[a]
-                stage_id, eid = _unpack(b)
-                run.running -= 1
-                executor = run.executors.get(eid)
-                if executor is not None:
-                    executor.free_cores += 1
-                    if executor.free_cores == executor.cores:
-                        executor.idle_since = now
-                state = run.states[stage_id]
-                state.remaining_tasks -= 1
-                if state.remaining_tasks == 0:
-                    run.stages_left -= 1
-                    for dep_id in run.dependents[stage_id]:
-                        run.states[dep_id].remaining_deps -= 1
-                        run.emit_ready(dep_id)
-                if run.stages_left == 0:
-                    finish_query(now, a)
+                run = runs[q]
+                stage_id, eid = payload
+                if run.core.complete_task(now, stage_id, eid):
+                    finish_query(now, q)
                     drain_admissions(now)
                 else:
-                    assign(now, a)
+                    run.core.assign(now, run.emit)
+                    poll_scaling(now, q)
             elif kind == "tick":
                 release_idle(now)
+                if config.scaling is not None:
+                    for pos in runs:
+                        poll_scaling(now, pos)
                 if unfinished > 0:
-                    # Stall guard: the tick is the only event left, so no
-                    # run will ever release capacity again — queued
-                    # requests the policy refuses can never be admitted.
-                    # Without this check the tick chain would spin forever.
-                    if not events and arbiter.queue_length > 0:
-                        raise RuntimeError(
-                            f"admission stalled: {arbiter.queue_length} "
-                            "queued requests, an idle pool, and a policy "
-                            "that admits none of them"
-                        )
+                    if not events:
+                        # Stall guard: the tick chain is the only thing
+                        # left, so no run will ever release or acquire
+                        # capacity again.  Without this check the ticks
+                        # would spin forever.
+                        _raise_stalled(arbiter, unfinished)
                     push(now + config.tick_interval, "tick")
 
         if unfinished > 0:
+            if arbiter.queue_length > 0:
+                _raise_stalled(arbiter, unfinished)
             stuck = [q for q, r in runs.items() if not r.finished]
             raise RuntimeError(
                 f"fleet run ended with {unfinished} unfinished queries "
                 f"(running: {stuck}, queued: {arbiter.queue_length})"
             )
 
-        ordered = [records[a.index] for a in arrivals]
+        ordered = [records[pos] for pos in range(len(stream))]
         return FleetMetrics(
             capacity=self.capacity,
             cores_per_executor=ec,
             records=ordered,
             pool_skyline=pool_skyline,
         )
+
+
+def _raise_stalled(arbiter: CapacityArbiter, unfinished: int) -> None:
+    if arbiter.queue_length > 0:
+        raise RuntimeError(
+            f"admission stalled: {arbiter.queue_length} queued requests, "
+            "an idle pool, and a policy that admits none of them"
+        )
+    raise RuntimeError(
+        f"fleet stalled: {unfinished} admitted queries hold no executors, "
+        "have no grants in flight, and their scaling policies acquire none"
+    )
 
 
 def static_allocator(n: int) -> Allocator:

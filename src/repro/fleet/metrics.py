@@ -46,6 +46,10 @@ class QueryRecord:
             prediction memo cache (``None`` for non-predictive allocators).
         prediction_seconds: measured selection overhead charged to the
             query before admission.
+        skyline: the query's own allocated-executor step function (on the
+            fleet clock) — for a fleet of one on an uncontended pool this
+            is bit-identical to ``simulate_query``'s skyline, the
+            differential-parity contract the engine tests assert.
     """
 
     query_id: str
@@ -57,6 +61,7 @@ class QueryRecord:
     auc: float
     prediction_cached: bool | None = None
     prediction_seconds: float = 0.0
+    skyline: Skyline | None = None
 
     @property
     def latency(self) -> float:
@@ -192,10 +197,12 @@ class FleetMetrics:
             "p95_latency_s": self.p95_latency,
             "p99_latency_s": self.p99_latency,
             "mean_queue_delay_s": self.mean_queue_delay,
+            "max_queue_delay_s": self.max_queue_delay,
             "peak_pool_usage": float(self.peak_pool_usage),
             "utilization": self.utilization(),
             "total_executor_seconds": self.total_executor_seconds,
             "total_dollar_cost": self.total_dollar_cost,
+            "prediction_cache_hit_rate": self.prediction_cache_hit_rate(),
         }
 
     def describe(self) -> str:
@@ -207,10 +214,12 @@ class FleetMetrics:
             f"latency p50/p95/p99   {s['p50_latency_s']:.1f} / "
             f"{s['p95_latency_s']:.1f} / {s['p99_latency_s']:.1f} s",
             f"mean queueing delay   {s['mean_queue_delay_s']:10.1f} s",
+            f"max queueing delay    {s['max_queue_delay_s']:10.1f} s",
             f"peak pool usage       {self.peak_pool_usage}/{self.capacity} "
             f"executors",
             f"pool utilization      {s['utilization']:10.1%}",
             f"executor-seconds      {s['total_executor_seconds']:10.0f}",
             f"total cost            ${s['total_dollar_cost']:9.2f}",
+            f"prediction cache hit  {s['prediction_cache_hit_rate']:10.1%}",
         ]
         return "\n".join(lines)

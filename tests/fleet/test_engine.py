@@ -84,6 +84,40 @@ class TestServingSemantics:
         ).serve(arrivals)
         assert uncharged.records[0].admit_time == pytest.approx(0.0)
 
+    def test_shuffled_index_fields_do_not_mismatch_decisions(self, workload):
+        """Regression: the engine used to mix positional and ``index``
+        keying, silently pairing allocator decisions with the wrong
+        queries whenever index fields did not equal list positions."""
+        budgets = {"q1": 3, "q2": 5, "q3": 7}
+        arrivals = [
+            QueryArrival(7, "q1", 0, 0.0),
+            QueryArrival(2, "q2", 1, 1.0),
+            QueryArrival(11, "q3", 2, 2.0),
+        ]
+
+        def allocator(query_id, plan):
+            return budgets[query_id]
+
+        metrics = FleetEngine(
+            workload, capacity=64, allocator=allocator
+        ).serve(arrivals)
+        assert [r.query_id for r in metrics.records] == ["q1", "q2", "q3"]
+        for record in metrics.records:
+            assert record.executors_granted == budgets[record.query_id]
+            assert record.arrival_time == {
+                "q1": 0.0, "q2": 1.0, "q3": 2.0
+            }[record.query_id]
+
+    def test_duplicate_indices_rejected(self, workload):
+        arrivals = [
+            QueryArrival(0, "q1", 0, 0.0),
+            QueryArrival(0, "q2", 1, 1.0),
+        ]
+        with pytest.raises(ValueError, match="duplicate indices"):
+            FleetEngine(
+                workload, capacity=8, allocator=static_allocator(2)
+            ).serve(arrivals)
+
     def test_idle_release_returns_capacity_early(self, workload):
         """With idle release on, tail stages run on fewer executors, so
         the fleet-wide occupancy drops versus holding budgets to the end."""
@@ -193,6 +227,34 @@ class TestMetrics:
         assert summary["n_queries"] == 30.0
         assert "describe" not in summary
         assert "queries served" in m.describe()
+
+    def test_summary_captures_tail_queueing_and_cache_behavior(
+        self, workload
+    ):
+        """Regression: summary() omitted max_queue_delay and the
+        prediction cache hit rate, so benchmark JSON never captured the
+        tail-queueing or cache behavior it asserts on."""
+        arrivals = [QueryArrival(i, "q1", i, 0.0) for i in range(4)]
+
+        def allocator(query_id, plan):
+            return Prediction(executors=8, cached=True, seconds=0.0)
+
+        m = FleetEngine(
+            workload, capacity=8, allocator=allocator
+        ).serve(arrivals)
+        summary = m.summary()
+        assert summary["max_queue_delay_s"] == m.max_queue_delay
+        assert summary["max_queue_delay_s"] > 0
+        assert summary["max_queue_delay_s"] >= summary["mean_queue_delay_s"]
+        assert (
+            summary["prediction_cache_hit_rate"]
+            == m.prediction_cache_hit_rate()
+        )
+        assert summary["prediction_cache_hit_rate"] == 1.0
+        # describe() stays in sync with the summary's headline numbers
+        report = m.describe()
+        assert "max queueing delay" in report
+        assert "prediction cache hit" in report
 
     def test_empty_stream_rejected(self, workload):
         with pytest.raises(ValueError):

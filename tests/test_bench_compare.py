@@ -16,7 +16,12 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 COMPARE = REPO_ROOT / "benchmarks" / "perf" / "compare.py"
 
 
-def bench_json(speedup=10.0, bit_identical=True, schema="repro-bench-sweep/v1"):
+def bench_json(
+    speedup=10.0,
+    bit_identical=True,
+    parity=True,
+    schema="repro-bench-sweep/v2",
+):
     return {
         "schema": schema,
         "machine": {"python": "3.11", "numpy": "2.0", "platform": "test"},
@@ -29,6 +34,7 @@ def bench_json(speedup=10.0, bit_identical=True, schema="repro-bench-sweep/v1"):
         },
         "speedup": speedup,
         "equivalence": {"checked_sims": 48, "bit_identical": bit_identical},
+        "parity": {"checked_plans": 16, "bit_identical": parity},
         "fleet": None,
     }
 
@@ -85,6 +91,14 @@ def test_lost_bit_identity_fails(tmp_path):
     assert "bit-for-bit" in proc.stderr
 
 
+def test_lost_fleet_parity_fails(tmp_path):
+    proc = run_gate(
+        tmp_path, bench_json(10.0), bench_json(10.0, parity=False)
+    )
+    assert proc.returncode == 1
+    assert "parity" in proc.stderr
+
+
 def test_bench_params_drift_fails(tmp_path):
     drifted = bench_json(10.0)
     drifted["params"]["queries"] = ["q2", "q3"]
@@ -124,6 +138,7 @@ def test_checked_in_baseline_is_valid(file):
     data = json.loads(
         (REPO_ROOT / "benchmarks" / "perf" / file).read_text(encoding="utf-8")
     )
-    assert data["schema"] == "repro-bench-sweep/v1"
+    assert data["schema"] == "repro-bench-sweep/v2"
     assert data["speedup"] >= 5.0
     assert data["equivalence"]["bit_identical"] is True
+    assert data["parity"]["bit_identical"] is True

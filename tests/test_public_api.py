@@ -28,6 +28,7 @@ PUBLIC_MODULES = [
     "repro.engine.stages",
     "repro.engine.cluster",
     "repro.engine.allocation",
+    "repro.engine.execution",
     "repro.engine.scheduler",
     "repro.engine.sweep",
     "repro.engine.skyline",
