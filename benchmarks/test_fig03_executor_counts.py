@@ -38,7 +38,11 @@ def test_fig03ab_production_allocation(report, benchmark):
     assert 0.5 <= np.mean(ranges == 2) <= 0.7
     assert 0.75 <= np.mean(static == 2) <= 0.85
 
-    benchmark(lambda: generate_production_trace(n_applications=900, seed=2).custom_da_ranges())
+    benchmark(
+        lambda: generate_production_trace(
+            n_applications=900, seed=2
+        ).custom_da_ranges()
+    )
 
 
 def test_fig03c_optimal_executors(ctx, report, benchmark):

@@ -71,7 +71,9 @@ def main() -> None:
     grid = dataset_small.n_grid
     stale_sparklens = {
         n: {
-            qid: float(dataset_small.sparklens_curves[qid][int(np.searchsorted(grid, n))])
+            qid: float(
+                dataset_small.sparklens_curves[qid][int(np.searchsorted(grid, n))]
+            )
             for qid in dataset_grown.query_ids
         }
         for n in EVAL_N

@@ -168,7 +168,9 @@ class Cluster:
         times: list[float] = []
         for i in range(max(0, int(count))):
             batch = i // self.grant_batch
-            times.append(request_time + self.base_grant_lag + batch * self.grant_interval)
+            times.append(
+                request_time + self.base_grant_lag + batch * self.grant_interval
+            )
         return times
 
     def provision(

@@ -33,7 +33,9 @@ class TestRewriteRules:
     def test_selective_filter_kept_unless_pushable(self):
         node = PlanNode(
             kind=OperatorKind.FILTER,
-            children=[PlanNode(kind=OperatorKind.EXPAND, children=[scan()], rows_out=2e6)],
+            children=[
+                PlanNode(kind=OperatorKind.EXPAND, children=[scan()], rows_out=2e6)
+            ],
             selectivity=0.1,
             pushable=False,
             rows_out=2e5,

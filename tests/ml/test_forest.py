@@ -57,8 +57,12 @@ class TestFit:
 class TestDeterminism:
     def test_same_seed_reproduces_predictions(self, rng):
         X, y = rng.random((60, 4)), rng.random(60)
-        p1 = RandomForestRegressor(n_estimators=10, random_state=42).fit(X, y).predict(X)
-        p2 = RandomForestRegressor(n_estimators=10, random_state=42).fit(X, y).predict(X)
+        p1 = (
+            RandomForestRegressor(n_estimators=10, random_state=42).fit(X, y).predict(X)
+        )
+        p2 = (
+            RandomForestRegressor(n_estimators=10, random_state=42).fit(X, y).predict(X)
+        )
         assert np.allclose(p1, p2)
 
     def test_different_seeds_differ(self, rng):
@@ -120,7 +124,11 @@ class TestGeneralization:
 
         tree_mse = float(
             np.mean(
-                (DecisionTreeRegressor(random_state=0).fit(X_tr, y_tr).predict(X_te) - y_te) ** 2
+                (
+                    DecisionTreeRegressor(random_state=0).fit(X_tr, y_tr).predict(X_te)
+                    - y_te
+                )
+                ** 2
             )
         )
         forest_mse = float(
