@@ -1,9 +1,11 @@
 #!/usr/bin/env python
 """Benchmark-regression gate for CI.
 
-Compares a fresh ``BENCH_sweep.json`` (see ``run_bench.py``) against the
-checked-in ``baseline.json`` and exits non-zero when the sweep backend
-regressed:
+Compares a fresh benchmark JSON against its checked-in baseline and
+exits non-zero on regression.  Two schemas are understood (baseline and
+candidate must carry the same one):
+
+``repro-bench-sweep/v2`` (from ``run_bench.py``):
 
 - **relative throughput** — the sweep/loop *speedup* ratio is
   hardware-normalized (both passes run on the same machine), so it is
@@ -15,11 +17,26 @@ regressed:
 - **parity** — the run's fleet-of-one vs ``simulate_query`` bit-identity
   check (the shared execution core's contract) must hold.
 
+``repro-bench-fleet/v1`` (from ``run_fleet_bench.py``):
+
+- **parity** — the run's sharded-of-one vs ``FleetEngine.serve``
+  bit-identity check (the cluster layer's contract) must hold;
+- **wins** — at the highest arrival rate, cost-aware routing +
+  autoscaling must beat static single-pool provisioning on p95 latency
+  and on provisioned dollar cost;
+- **overhead** — the sharded/fleet wall-clock ratio (hardware-normalized
+  the same way the sweep speedup is) must not grow more than
+  ``--max-regression`` above the baseline's.
+
 Usage:
 
     python benchmarks/perf/compare.py \
         --baseline benchmarks/perf/baseline.json \
         --candidate benchmarks/perf/output/BENCH_sweep.json
+
+    python benchmarks/perf/compare.py \
+        --baseline benchmarks/perf/baseline_fleet.json \
+        --candidate benchmarks/perf/output/BENCH_fleet.json
 """
 
 from __future__ import annotations
@@ -29,43 +46,26 @@ import json
 import sys
 from pathlib import Path
 
-SCHEMA = "repro-bench-sweep/v2"
+SWEEP_SCHEMA = "repro-bench-sweep/v2"
+FLEET_SCHEMA = "repro-bench-fleet/v1"
+SCHEMAS = (SWEEP_SCHEMA, FLEET_SCHEMA)
 
 
 def load(path: str) -> dict:
     data = json.loads(Path(path).read_text(encoding="utf-8"))
-    if data.get("schema") != SCHEMA:
+    if data.get("schema") not in SCHEMAS:
         msg = (
             f"{path}: unexpected schema {data.get('schema')!r} "
-            f"(want {SCHEMA!r})"
+            f"(want one of {SCHEMAS!r})"
         )
         raise SystemExit(msg)
     return data
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True)
-    parser.add_argument("--candidate", required=True)
-    parser.add_argument(
-        "--max-regression",
-        type=float,
-        default=0.20,
-        help="tolerated fractional speedup drop vs baseline (default 0.20)",
-    )
-    parser.add_argument(
-        "--min-speedup",
-        type=float,
-        default=5.0,
-        help="absolute sweep-vs-loop speedup floor (default 5.0)",
-    )
-    args = parser.parse_args(argv)
+def check_params(baseline: dict, candidate: dict) -> bool:
+    """Gated quantities are only comparable on the same workload grid;
+    "repeats" is a timing knob, not part of the workload."""
 
-    baseline = load(args.baseline)
-    candidate = load(args.candidate)
-
-    # Speedups are only comparable when measured on the same workload
-    # grid; "repeats" is a timing knob, not part of the workload.
     def grid(params: dict) -> dict:
         return {k: v for k, v in params.items() if k != "repeats"}
 
@@ -73,17 +73,22 @@ def main(argv=None) -> int:
         print("FAIL: bench params drifted from the baseline's", file=sys.stderr)
         print(f"  baseline : {grid(baseline['params'])}", file=sys.stderr)
         print(f"  candidate: {grid(candidate['params'])}", file=sys.stderr)
-        print("  regenerate benchmarks/perf/baseline.json", file=sys.stderr)
-        return 1
+        print("  regenerate the checked-in baseline", file=sys.stderr)
+        return False
+    return True
 
+
+def note_machine_drift(baseline: dict, candidate: dict) -> None:
     if baseline["machine"] != candidate["machine"]:
-        # Advisory only: the ratio is mostly but not perfectly
+        # Advisory only: the gated ratios are mostly but not perfectly
         # machine-invariant.  If the gate trips right after an
         # interpreter/runner change, re-anchor the baseline from the CI
         # artifact (see benchmarks/perf/README.md).
         print(f"note: baseline machine {baseline['machine']}")
         print(f"      candidate machine {candidate['machine']}")
 
+
+def compare_sweep(baseline: dict, candidate: dict, args) -> list[str]:
     base_speedup = float(baseline["speedup"])
     cand_speedup = float(candidate["speedup"])
     threshold = base_speedup * (1.0 - args.max_regression)
@@ -120,6 +125,96 @@ def main(argv=None) -> int:
             f"{args.min_speedup:.2f}x acceptance floor"
         )
         failures.append(detail)
+    return failures
+
+
+def compare_fleet(baseline: dict, candidate: dict, args) -> list[str]:
+    base_ratio = float(baseline["overhead"]["ratio"])
+    cand_ratio = float(candidate["overhead"]["ratio"])
+    threshold = base_ratio * (1.0 + args.max_regression)
+    parity = bool(candidate["parity"]["bit_identical"])
+    wins = candidate["wins"]
+
+    print(f"baseline  overhead ratio: {base_ratio:5.2f}x  ({args.baseline})")
+    print(f"candidate overhead ratio: {cand_ratio:5.2f}x  ({args.candidate})")
+    gate_line = (
+        f"gate: <= {threshold:.2f}x (baseline + {args.max_regression:.0%}), "
+        f"sharded-of-one parity, p95 + cost wins at peak rate"
+    )
+    print(gate_line)
+
+    failures = []
+    if not parity:
+        failures.append(
+            "sharded-of-one no longer matches FleetEngine.serve bit-for-bit "
+            "(cluster layer parity lost)"
+        )
+    if not bool(wins.get("p95_at_peak")):
+        failures.append(
+            "cost-aware routing + autoscaling no longer beats static "
+            "single-pool provisioning on p95 latency at the peak rate"
+        )
+    if not bool(wins.get("cost_at_peak")):
+        failures.append(
+            "cost-aware routing + autoscaling no longer beats static "
+            "single-pool provisioning on provisioned $ cost at the peak rate"
+        )
+    if cand_ratio > threshold:
+        detail = (
+            f"cluster-layer overhead regressed: {cand_ratio:.2f}x > "
+            f"{threshold:.2f}x ({args.max_regression:.0%} above baseline "
+            f"{base_ratio:.2f}x)"
+        )
+        failures.append(detail)
+    for scenario in candidate.get("scenarios", []):
+        for side in ("static_single_pool", "sharded_autoscaled"):
+            if not bool(scenario[side].get("capacity_respected", True)):
+                failures.append(
+                    f"capacity invariant violated: {side} at "
+                    f"{scenario['rate_qps']} qps exceeded its provisioned "
+                    "pool"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--candidate", required=True)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="tolerated fractional drift of the gated ratio vs baseline "
+        "(default 0.20)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="absolute sweep-vs-loop speedup floor (sweep schema only, "
+        "default 5.0)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+
+    if baseline["schema"] != candidate["schema"]:
+        print(
+            f"FAIL: schema mismatch: baseline {baseline['schema']!r} vs "
+            f"candidate {candidate['schema']!r}",
+            file=sys.stderr,
+        )
+        return 1
+    if not check_params(baseline, candidate):
+        return 1
+    note_machine_drift(baseline, candidate)
+
+    if baseline["schema"] == SWEEP_SCHEMA:
+        failures = compare_sweep(baseline, candidate, args)
+    else:
+        failures = compare_fleet(baseline, candidate, args)
 
     if failures:
         for failure in failures:

@@ -1,0 +1,325 @@
+#!/usr/bin/env python
+"""Fleet-scale benchmark: sharded pools + routing + autoscaling vs a
+statically provisioned single pool.
+
+Measures, on the real TPC-DS workload:
+
+1. **parity** — a sharded fleet of one statically provisioned pool must
+   reproduce ``FleetEngine.serve`` *bit-for-bit*: per-plan single
+   arrivals (records, skylines) and a contended 48-query stream
+   (records, pool skyline, full summary) are both checked;
+2. **overhead** — end-to-end wall-clock of ``ShardedFleet.serve`` with
+   one pool vs ``FleetEngine.serve`` on the same stream.  The ratio is
+   hardware-normalized (both passes run here, now) and is the gated
+   quantity: the cluster layer must stay near-free when unused;
+3. **scenarios** — a rate sweep serving the same Poisson streams two
+   ways: a statically provisioned single pool, and a sharded fleet of
+   autoscaled pools behind cost-aware routing, both allocated by the
+   online ``PredictionService``.  At the highest arrival rate the
+   sharded fleet must win on p95 latency *and* on provisioned dollar
+   cost (every provisioned executor-second billed, idle autoscaled
+   capacity included) — recorded as the ``wins`` block CI gates on.
+
+The result is written as ``BENCH_fleet.json`` (schema
+``repro-bench-fleet/v1``, documented in ``benchmarks/perf/README.md``);
+CI uploads it as an artifact and gates regressions against the
+checked-in ``baseline_fleet.json`` via ``compare.py``.
+
+Run from the repository root:
+
+    python benchmarks/perf/run_fleet_bench.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.autoexecutor import AutoExecutor  # noqa: E402
+from repro.engine.cluster import Cluster  # noqa: E402
+from repro.fleet.arrivals import QueryArrival, poisson_arrivals  # noqa: E402
+from repro.fleet.autoscaler import AutoscalerConfig  # noqa: E402
+from repro.fleet.cluster import PoolSpec, ShardedFleet  # noqa: E402
+from repro.fleet.engine import FleetEngine, static_allocator  # noqa: E402
+from repro.fleet.prediction import PredictionService  # noqa: E402
+from repro.fleet.routing import CostAwareRouter  # noqa: E402
+from repro.workloads.generator import Workload  # noqa: E402
+
+SCHEMA = "repro-bench-fleet/v1"
+
+# Same size-diverse TPC-DS slice as the sweep bench.
+DEFAULT_QUERY_IDS = tuple(
+    "q1 q2 q3 q5 q9 q14 q17 q21 q25 q46 q64 q72 q82 q88 q94 q99".split()
+)
+
+
+def check_sharded_parity(workload, cluster, parity_stream):
+    """Sharded-of-one ≡ ``FleetEngine.serve``, bit for bit."""
+    checked = 0
+    # Per-plan single uncontended arrivals, cycling budgets.
+    for i, query_id in enumerate(workload):
+        budget = (4, 8, 16, 32)[i % 4]
+        arrivals = [QueryArrival(0, query_id, 0, 0.0)]
+        fleet = FleetEngine(
+            workload, capacity=64, allocator=static_allocator(budget), cluster=cluster
+        ).serve(arrivals)
+        sharded = ShardedFleet(
+            workload, [64], static_allocator(budget), cluster=cluster
+        ).serve(arrivals)
+        checked += 1
+        pool = sharded.pools[0]
+        if not (
+            pool.records == fleet.records
+            and pool.pool_skyline.points == fleet.pool_skyline.points
+            and pool.summary() == fleet.summary()
+        ):
+            return checked, False
+    # One contended stream: queueing, idle release, shared-pool churn.
+    fleet = FleetEngine(workload, capacity=48, allocator=static_allocator(8)).serve(
+        parity_stream
+    )
+    sharded = ShardedFleet(workload, [48], static_allocator(8)).serve(parity_stream)
+    checked += 1
+    pool = sharded.pools[0]
+    same = (
+        pool.records == fleet.records
+        and pool.pool_skyline.points == fleet.pool_skyline.points
+        and pool.summary() == fleet.summary()
+    )
+    return checked, same
+
+
+def measure_overhead(workload, stream, capacity, repeats):
+    """Wall-clock of the cluster layer when it multiplexes one pool."""
+    allocator = static_allocator(8)
+    fleet_best = float("inf")
+    sharded_best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        FleetEngine(workload, capacity=capacity, allocator=allocator).serve(stream)
+        fleet_best = min(fleet_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        ShardedFleet(workload, [capacity], allocator).serve(stream)
+        sharded_best = min(sharded_best, time.perf_counter() - start)
+    return fleet_best, sharded_best
+
+
+def summarize(metrics):
+    return {
+        "p50_latency_s": round(float(metrics.p50_latency), 3),
+        "p95_latency_s": round(float(metrics.p95_latency), 3),
+        "p99_latency_s": round(float(metrics.p99_latency), 3),
+        "mean_queue_delay_s": round(float(metrics.mean_queue_delay), 3),
+        "makespan_s": round(float(metrics.makespan), 3),
+        "utilization": round(float(metrics.utilization()), 4),
+        "total_dollar_cost": round(float(metrics.total_dollar_cost), 4),
+        "provisioned_dollar_cost": round(float(metrics.provisioned_dollar_cost), 4),
+        "idle_capacity_seconds": round(float(metrics.idle_capacity_seconds), 1),
+        "capacity_respected": bool(metrics.capacity_respected),
+    }
+
+
+def run_scenarios(workload, system, args):
+    """The rate sweep: static single pool vs autoscaled sharded fleet."""
+    autoscaler = AutoscalerConfig(
+        min_capacity=args.pool_min,
+        max_capacity=args.pool_max,
+        scale_up_step=8,
+        scale_down_step=8,
+        scale_up_lag_s=15.0,
+        scale_down_cooldown_s=30.0,
+        queue_delay_threshold_s=3.0,
+        low_utilization=0.5,
+    )
+    scenarios = []
+    for rate in args.rates:
+        arrivals = poisson_arrivals(
+            list(workload), args.arrivals, rate, seed=args.seed
+        )
+        # Fresh prediction services so both systems pay the same cache
+        # warm-up on the same stream.
+        static_service = PredictionService.from_autoexecutor(system)
+        static_metrics = FleetEngine(
+            workload,
+            capacity=args.static_capacity,
+            allocator=static_service.allocate,
+        ).serve(arrivals)
+        sharded_service = PredictionService.from_autoexecutor(system)
+        sharded_metrics = ShardedFleet(
+            workload,
+            [
+                PoolSpec(capacity=args.pool_min, autoscaler=autoscaler)
+                for _ in range(args.pools)
+            ],
+            sharded_service.allocate,
+            router=CostAwareRouter(),
+        ).serve(arrivals)
+        scenarios.append(
+            {
+                "rate_qps": rate,
+                "static_single_pool": summarize(static_metrics),
+                "sharded_autoscaled": summarize(sharded_metrics),
+            }
+        )
+    return scenarios
+
+
+def run(args):
+    cluster = Cluster()
+    query_ids = DEFAULT_QUERY_IDS[: args.queries]
+    workload = Workload(scale_factor=100, query_ids=query_ids)
+
+    print(f"fleet bench: {len(query_ids)} TPC-DS plans, {args.arrivals} arrivals")
+    print("checking sharded-of-one parity ...")
+    parity_stream = poisson_arrivals(list(workload), 48, 1.0, seed=args.seed)
+    parity_checked, parity_identical = check_sharded_parity(
+        workload, cluster, parity_stream
+    )
+
+    print("measuring cluster-layer overhead ...")
+    overhead_stream = poisson_arrivals(
+        list(workload), args.arrivals, 1.0, seed=args.seed
+    )
+    fleet_seconds, sharded_seconds = measure_overhead(
+        workload, overhead_stream, args.static_capacity, args.repeats
+    )
+    ratio = sharded_seconds / fleet_seconds
+
+    print("training AutoExecutor for the rate sweep ...")
+    system = AutoExecutor(family="power_law").train(workload, cluster)
+    print("running rate-sweep scenarios ...")
+    scenarios = run_scenarios(workload, system, args)
+
+    peak = scenarios[-1]
+    wins = {
+        "p95_at_peak": bool(
+            peak["sharded_autoscaled"]["p95_latency_s"]
+            < peak["static_single_pool"]["p95_latency_s"]
+        ),
+        "cost_at_peak": bool(
+            peak["sharded_autoscaled"]["provisioned_dollar_cost"]
+            < peak["static_single_pool"]["provisioned_dollar_cost"]
+        ),
+    }
+
+    result = {
+        "schema": SCHEMA,
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "params": {
+            "scale_factor": 100,
+            "queries": list(query_ids),
+            "arrivals": args.arrivals,
+            "rates": list(args.rates),
+            "static_capacity": args.static_capacity,
+            "pools": args.pools,
+            "pool_min": args.pool_min,
+            "pool_max": args.pool_max,
+            "seed": args.seed,
+            "repeats": args.repeats,
+        },
+        "parity": {
+            "checked_plans": parity_checked,
+            "bit_identical": bool(parity_identical),
+        },
+        "overhead": {
+            "fleet_seconds": round(fleet_seconds, 4),
+            "sharded_seconds": round(sharded_seconds, 4),
+            "ratio": round(ratio, 3),
+        },
+        "scenarios": scenarios,
+        "wins": wins,
+    }
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+    print(f"parity: {parity_checked} checks, bit_identical={parity_identical}")
+    print(
+        f"overhead: fleet {fleet_seconds:.3f}s vs sharded {sharded_seconds:.3f}s "
+        f"(ratio {ratio:.2f}x)"
+    )
+    for scenario in scenarios:
+        static = scenario["static_single_pool"]
+        sharded = scenario["sharded_autoscaled"]
+        print(
+            f"rate {scenario['rate_qps']:.2f} qps: "
+            f"p95 {static['p95_latency_s']:8.1f}s -> {sharded['p95_latency_s']:8.1f}s, "
+            f"provisioned ${static['provisioned_dollar_cost']:7.2f} -> "
+            f"${sharded['provisioned_dollar_cost']:7.2f}"
+        )
+    print(f"wins at peak rate: p95={wins['p95_at_peak']} cost={wins['cost_at_peak']}")
+    print(f"wrote {out}")
+    invariants_ok = all(
+        scenario[side]["capacity_respected"]
+        for scenario in scenarios
+        for side in ("static_single_pool", "sharded_autoscaled")
+    )
+    if not invariants_ok:
+        print("capacity invariant VIOLATED in a scenario", file=sys.stderr)
+    return 0 if parity_identical and all(wins.values()) and invariants_ok else 1
+
+
+def main(argv=None):
+    default_out = REPO_ROOT / "benchmarks" / "perf" / "output" / "BENCH_fleet.json"
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(default_out), help="output JSON path")
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=len(DEFAULT_QUERY_IDS),
+        help="number of TPC-DS queries in the workload (default: all 16)",
+    )
+    parser.add_argument(
+        "--arrivals", type=int, default=96, help="stream length per scenario"
+    )
+    parser.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[0.2, 0.4, 0.6],
+        help="arrival rates to sweep (qps), ascending; the last gates. "
+        "The default band brackets the static pool's saturation point: "
+        "past it both systems are in pure backlog drain, where a "
+        "pay-for-provisioned bill converges to total work and the "
+        "comparison measures nothing",
+    )
+    parser.add_argument(
+        "--static-capacity",
+        type=int,
+        default=96,
+        help="the statically provisioned single pool's size",
+    )
+    parser.add_argument("--pools", type=int, default=4, help="sharded pool count")
+    parser.add_argument(
+        "--pool-min", type=int, default=8, help="autoscaler floor per pool"
+    )
+    parser.add_argument(
+        "--pool-max", type=int, default=48, help="autoscaler ceiling per pool"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="stream RNG seed")
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="overhead timing repeats; the fastest pass is reported",
+    )
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

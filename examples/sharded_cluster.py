@@ -1,0 +1,111 @@
+"""Sharded serving: N autoscaled pools behind a cost-aware router.
+
+The single-pool fleet (``examples/fleet_serving.py``) already shows
+predictive per-query allocation beating a static default.  This example
+climbs one level: the *cluster* layer, where capacity itself is a
+decision.  The same Poisson stream is served two ways —
+
+1. a **statically provisioned single pool**, sized up front and billed
+   for every provisioned executor-second of the run;
+2. a **sharded fleet**: four pools that start at the autoscaler's floor,
+   grow under queue-delay/utilization pressure (paying a provisioning
+   lag on the way up, holding a cooldown before shrinking), with a
+   cost-aware router placing each query where the least predicted work
+   is queued ahead of it.
+
+Both use the same online prediction service for per-query budgets, so
+the delta is pure routing + elasticity: better tail latency at high
+arrival rates *and* a smaller provisioned bill — the fleet-scale claim
+the CI benchmark (``benchmarks/perf/run_fleet_bench.py``) gates.
+
+Run from the repository root:
+
+    PYTHONPATH=src python examples/sharded_cluster.py
+"""
+
+from repro.core.autoexecutor import AutoExecutor
+from repro.fleet import (
+    AutoscalerConfig,
+    CostAwareRouter,
+    FleetEngine,
+    PoolSpec,
+    PredictionService,
+    ShardedFleet,
+    poisson_arrivals,
+)
+from repro.workloads.generator import Workload
+
+QUERY_IDS = tuple(
+    "q1 q2 q3 q5 q9 q14 q17 q21 q25 q46 q64 q72 q82 q88 q94 q99".split()
+)
+ARRIVALS = 96
+# Just past the static pool's saturation point: it queues, while the
+# autoscaled pools absorb the pressure and shed capacity in the lulls.
+RATE_QPS = 0.5
+STATIC_CAPACITY = 96
+
+
+def main() -> None:
+    workload = Workload(scale_factor=100, query_ids=QUERY_IDS)
+    print(f"training AutoExecutor on {len(QUERY_IDS)} TPC-DS templates ...")
+    system = AutoExecutor(family="power_law").train(workload)
+    arrivals = poisson_arrivals(QUERY_IDS, ARRIVALS, RATE_QPS, seed=11)
+
+    print(f"\n=== static single pool ({STATIC_CAPACITY} executors) ===")
+    static = FleetEngine(
+        workload,
+        capacity=STATIC_CAPACITY,
+        allocator=PredictionService.from_autoexecutor(system).allocate,
+    ).serve(arrivals)
+    print(static.describe())
+
+    autoscaler = AutoscalerConfig(
+        min_capacity=8,
+        max_capacity=48,
+        scale_up_step=8,
+        scale_down_step=8,
+        scale_up_lag_s=15.0,
+        scale_down_cooldown_s=30.0,
+        queue_delay_threshold_s=3.0,
+        low_utilization=0.5,
+    )
+    print("\n=== sharded fleet: 4 autoscaled pools, cost-aware routing ===")
+    sharded = ShardedFleet(
+        workload,
+        [PoolSpec(capacity=8, autoscaler=autoscaler) for _ in range(4)],
+        PredictionService.from_autoexecutor(system).allocate,
+        router=CostAwareRouter(),
+    ).serve(arrivals)
+    print(sharded.describe())
+
+    print("\n=== static vs sharded ===")
+    rows = [
+        (
+            "p95 latency",
+            f"{static.p95_latency:9.1f} s",
+            f"{sharded.p95_latency:9.1f} s",
+        ),
+        (
+            "provisioned cost",
+            f"${static.provisioned_dollar_cost:8.2f}",
+            f"${sharded.provisioned_dollar_cost:8.2f}",
+        ),
+        (
+            "total cost (occupancy + idle)",
+            f"${static.total_dollar_cost:8.2f}",
+            f"${sharded.total_dollar_cost:8.2f}",
+        ),
+        (
+            "utilization",
+            f"{static.utilization():9.1%}",
+            f"{sharded.utilization():9.1%}",
+        ),
+    ]
+    width = max(len(r[0]) for r in rows)
+    print(f"{'':{width}}  {'static':>12}  {'sharded':>12}")
+    for label, a, b in rows:
+        print(f"{label:{width}}  {a:>12}  {b:>12}")
+
+
+if __name__ == "__main__":
+    main()

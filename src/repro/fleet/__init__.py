@@ -19,7 +19,18 @@ cannot have.  This subpackage simulates that setting end to end:
   portable-runtime inference, so per-query selection overhead is measured
   rather than assumed;
 - :mod:`~repro.fleet.metrics` — fleet-level serving metrics: latency
-  percentiles, queueing delay, pool utilization, and dollar cost.
+  percentiles, queueing delay, pool utilization, and dollar cost
+  (including the bill for autoscaled-but-idle capacity), with
+  :class:`~repro.fleet.metrics.ClusterMetrics` rolling pools up into
+  the cluster view;
+- :mod:`~repro.fleet.cluster` — the sharded fleet: N pools behind a
+  router on one clock, each optionally autoscaled;
+- :mod:`~repro.fleet.routing` — placement policies: round-robin,
+  least-queued, and cost-aware (weighing queued work by the prediction
+  service's run-time estimates);
+- :mod:`~repro.fleet.autoscaler` — per-pool elastic capacity from
+  queue-delay and utilization signals, with scale-up lag and a
+  scale-down cooldown.
 
 Quickstart::
 
@@ -46,14 +57,25 @@ from repro.fleet.admission import (
     PoolShare,
 )
 from repro.fleet.arrivals import QueryArrival, poisson_arrivals, trace_arrivals
+from repro.fleet.autoscaler import AutoscalerConfig, PoolAutoscaler
+from repro.fleet.cluster import PoolSpec, ShardedFleet
 from repro.fleet.engine import (
     FleetConfig,
     FleetEngine,
+    PoolRuntime,
     oracle_allocator,
     static_allocator,
 )
-from repro.fleet.metrics import FleetMetrics, QueryRecord
+from repro.fleet.metrics import ClusterMetrics, FleetMetrics, QueryRecord
 from repro.fleet.prediction import Prediction, PredictionService
+from repro.fleet.routing import (
+    CostAwareRouter,
+    LeastQueuedRouter,
+    PoolView,
+    RoundRobinRouter,
+    Router,
+    RoutingRequest,
+)
 
 __all__ = [
     "QueryArrival",
@@ -66,10 +88,22 @@ __all__ = [
     "PoolShare",
     "FleetEngine",
     "FleetConfig",
+    "PoolRuntime",
     "static_allocator",
     "oracle_allocator",
     "FleetMetrics",
+    "ClusterMetrics",
     "QueryRecord",
     "Prediction",
     "PredictionService",
+    "ShardedFleet",
+    "PoolSpec",
+    "Router",
+    "RoutingRequest",
+    "PoolView",
+    "RoundRobinRouter",
+    "LeastQueuedRouter",
+    "CostAwareRouter",
+    "AutoscalerConfig",
+    "PoolAutoscaler",
 ]

@@ -130,17 +130,38 @@ class CapacityArbiter:
     per the cluster's provisioning lag) and are returned piecemeal — idle
     releases hand back single executors, completion hands back the rest.
 
+    Capacity is *time-varying* under a pool autoscaler
+    (:mod:`repro.fleet.autoscaler`): :meth:`resize` moves the pool's
+    size between grants.  Shrinks never revoke outstanding grants — a
+    scale-down racing an in-flight grant clamps at ``in_use``; the
+    arbiter keeps no pending target, so a caller that wants the lower
+    size must re-issue :meth:`resize` once grants release (the
+    autoscaler's periodic evaluation does exactly that) — so the grant
+    invariant holds at every instant.  ``max_capacity`` is the ceiling
+    the autoscaler may ever reach; budget requests are admissible up to
+    that ceiling (they queue until capacity grows to fit them).
+
     Args:
         capacity: pool size in executors.
         policy: admission policy; defaults to FIFO.
+        max_capacity: largest size :meth:`resize` may grow the pool to
+            (defaults to ``capacity``: a statically provisioned pool).
     """
 
     def __init__(
-        self, capacity: int, policy: AdmissionPolicy | None = None
+        self,
+        capacity: int,
+        policy: AdmissionPolicy | None = None,
+        max_capacity: int | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("pool capacity must be at least 1 executor")
         self.capacity = int(capacity)
+        self.max_capacity = (
+            self.capacity if max_capacity is None else int(max_capacity)
+        )
+        if self.max_capacity < self.capacity:
+            raise ValueError("max_capacity cannot be below capacity")
         self.policy: AdmissionPolicy = policy if policy is not None else FIFOAdmission()
         self._queue: list[AdmissionRequest] = []
         self._granted: dict[int, int] = {}
@@ -150,11 +171,43 @@ class CapacityArbiter:
 
     @property
     def free(self) -> int:
-        return self.capacity - self.in_use
+        return max(0, self.capacity - self.in_use)
 
     @property
     def queue_length(self) -> int:
         return len(self._queue)
+
+    @property
+    def queued_executors(self) -> int:
+        """Total executor demand sitting in the admission queue."""
+        return sum(request.executors for request in self._queue)
+
+    @property
+    def queued_requests(self) -> tuple[AdmissionRequest, ...]:
+        """Read-only snapshot of the queue, arrival order."""
+        return tuple(self._queue)
+
+    @property
+    def oldest_submit_time(self) -> float | None:
+        """Submit time of the longest-waiting queued request."""
+        if not self._queue:
+            return None
+        return min(request.submit_time for request in self._queue)
+
+    def resize(self, new_capacity: int) -> int:
+        """Move the pool to ``new_capacity`` executors; returns the size
+        actually applied.
+
+        Shrinks clamp at ``in_use`` — outstanding grants are never
+        revoked, the pool just stops granting until enough capacity is
+        released.  The clamped size *sticks*: no pending target is
+        remembered, so reaching a lower size after grants release takes
+        another ``resize`` call.  Grows clamp at ``max_capacity``.
+        """
+        if new_capacity < 1:
+            raise ValueError("pool capacity must be at least 1 executor")
+        self.capacity = min(max(int(new_capacity), self.in_use, 1), self.max_capacity)
+        return self.capacity
 
     def granted_to(self, query_index: int) -> int:
         """Executors currently reserved for a query."""
@@ -166,10 +219,10 @@ class CapacityArbiter:
 
     def submit(self, request: AdmissionRequest) -> None:
         """Queue a budget request (admission happens in :meth:`admit`)."""
-        if request.executors > self.capacity:
+        if request.executors > self.max_capacity:
             raise ValueError(
                 f"request for {request.executors} executors can never be "
-                f"admitted to a pool of {self.capacity}"
+                f"admitted to a pool of at most {self.max_capacity}"
             )
         if request.query_index in self._granted:
             raise ValueError(

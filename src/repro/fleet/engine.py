@@ -12,12 +12,19 @@ Both simulators drive the same per-query state machine, the shared
 :class:`~repro.engine.execution.ExecutionCore`; this module contributes
 only the fleet-specific parts — the shared event heap, admission through
 the :class:`~repro.fleet.admission.CapacityArbiter`, and per-query
-capacity accounting against the pool.  The contract that keeps the two
-paths honest: a fleet of one query on an uncontended pool reproduces
-``simulate_query`` under :class:`~repro.engine.allocation.BudgetAllocation`
-*bit-for-bit* — runtime, AUC, and skyline — a property asserted across
-the whole TPC-DS workload in ``tests/engine/test_execution_parity.py``
-and re-checked by the CI bench gate.
+capacity accounting against the pool.  Those parts live in
+:class:`PoolRuntime`, *one pool's* serving state machine, deliberately
+separated from the event loop that drives it: :class:`FleetEngine` runs
+one runtime on its own heap, and :class:`repro.fleet.cluster.ShardedFleet`
+multiplexes N runtimes (plus routing and autoscaling) on one shared heap.
+The contracts that keep every path honest: a fleet of one query on an
+uncontended pool reproduces ``simulate_query`` under
+:class:`~repro.engine.allocation.BudgetAllocation` *bit-for-bit* —
+runtime, AUC, and skyline — a property asserted across the whole TPC-DS
+workload in ``tests/engine/test_execution_parity.py``, and a sharded
+fleet of one static pool reproduces ``FleetEngine.serve`` bit-for-bit
+(``tests/fleet/test_cluster.py``); both are re-checked by the CI bench
+gates.
 
 Allocators decide each query's *admission budget*.  Three are provided: a
 :func:`static_allocator` (the default-configuration baseline), the online
@@ -69,6 +76,7 @@ from repro.workloads.generator import Workload
 __all__ = [
     "FleetConfig",
     "FleetEngine",
+    "PoolRuntime",
     "static_allocator",
     "oracle_allocator",
 ]
@@ -117,6 +125,30 @@ class FleetConfig:
     charge_prediction_overhead: bool = True
     scaling: ScalingFactory | None = None
 
+    @property
+    def wants_ticks(self) -> bool:
+        """Whether serving this config needs the periodic tick chain."""
+        return self.idle_release_timeout is not None or self.scaling is not None
+
+
+def decision_fields(
+    decision: object, cap: int
+) -> tuple[int, bool | None, float, float | None]:
+    """Normalize an allocator's decision into its four fields.
+
+    Returns ``(budget, cached, seconds, estimated_runtime_seconds)``
+    with the budget clamped to ``[1, cap]``.  Plain-int allocators carry
+    no cache/overhead/runtime metadata.
+    """
+    if hasattr(decision, "executors"):
+        budget = int(decision.executors)
+        cached = decision.cached
+        seconds = float(decision.seconds)
+        estimate = getattr(decision, "estimated_runtime_seconds", None)
+    else:
+        budget, cached, seconds, estimate = int(decision), None, 0.0, None
+    return max(1, min(budget, cap)), cached, seconds, estimate
+
 
 @dataclass
 class _QueryRun:
@@ -132,6 +164,338 @@ class _QueryRun:
     policy: AllocationPolicy | None = None
     outstanding: int = 0
     finished: bool = False
+
+
+class PoolRuntime:
+    """One pool's serving state machine, driven by an external event heap.
+
+    The runtime owns everything that belongs to a single pool — the
+    capacity arbiter, the per-query :class:`_QueryRun` table, the
+    reserved-capacity skyline, and the finished-query records — while
+    the *driver* owns the heap, the clock, and the tick chain.  Event
+    handlers push follow-up events through the ``push`` callback the
+    driver supplies, so every event in a multi-pool cluster still lands
+    on one totally ordered heap; keeping each handler's push order
+    identical to the original single-pool engine is what makes a
+    sharded fleet of one pool bit-identical to :class:`FleetEngine`.
+
+    Args:
+        workload: supplies plans and compiled stage graphs per query id.
+        capacity: the pool's (initial) size in executors.
+        cluster: node/executor shapes and provisioning lag.
+        admission: queueing policy (default FIFO).
+        config: fleet knobs (shared across pools in a cluster).
+        push: ``push(time, kind, q, payload)`` — schedule an event for
+            this pool on the driver's heap.
+        start_ticks: driver callback that starts the (shared) tick chain
+            the first time any pool admits a query.
+        compiled: compile-once memo mapping query id → compiled plan
+            (shared across pools so each plan compiles once per cluster).
+        max_capacity: ceiling an autoscaler may grow this pool to
+            (defaults to ``capacity``: statically provisioned).
+    """
+
+    def __init__(
+        self,
+        *,
+        workload: Workload,
+        capacity: int,
+        cluster: Cluster,
+        admission: AdmissionPolicy | None,
+        config: FleetConfig,
+        push: Callable[..., None],
+        start_ticks: Callable[[float], None],
+        compiled: dict[str, CompiledPlan],
+        max_capacity: int | None = None,
+    ) -> None:
+        self.workload = workload
+        self.cluster = cluster
+        self.config = config
+        self.push = push
+        self.start_ticks = start_ticks
+        self.arbiter = CapacityArbiter(capacity, admission, max_capacity=max_capacity)
+        self.pool_skyline = Skyline()
+        self.pool_skyline.record(0.0, 0)
+        self.capacity_skyline: Skyline | None = None
+        self.runs: dict[int, _QueryRun] = {}
+        self.records: dict[int, QueryRecord] = {}
+        self._pending: dict[int, tuple[QueryArrival, bool | None, float]] = {}
+        self._compiled = compiled
+        self._ec = cluster.cores_per_executor
+
+    # --- pool state views (routing / autoscaling) ------------------------
+    @property
+    def capacity(self) -> int:
+        return self.arbiter.capacity
+
+    @property
+    def max_capacity(self) -> int:
+        return self.arbiter.max_capacity
+
+    @property
+    def free(self) -> int:
+        return self.arbiter.free
+
+    @property
+    def in_use(self) -> int:
+        return self.arbiter.in_use
+
+    @property
+    def queue_length(self) -> int:
+        return self.arbiter.queue_length
+
+    @property
+    def active_queries(self) -> int:
+        return sum(1 for run in self.runs.values() if not run.finished)
+
+    # --- capacity elasticity ---------------------------------------------
+    def track_capacity(self) -> None:
+        """Start recording the provisioned-capacity skyline (autoscaled
+        pools only; static pools keep ``capacity_skyline`` ``None`` so
+        their metrics — and the sharded-of-one parity contract — are
+        unchanged)."""
+        self.capacity_skyline = Skyline()
+        self.capacity_skyline.record(0.0, self.arbiter.capacity)
+
+    def resize(self, now: float, new_capacity: int) -> int:
+        """Move the pool to ``new_capacity`` (clamped by the arbiter:
+        never below outstanding grants, never above ``max_capacity``),
+        then admit whatever now fits."""
+        applied = self.arbiter.resize(new_capacity)
+        if self.capacity_skyline is not None:
+            self.capacity_skyline.record(now, applied)
+        self.drain_admissions(now)
+        return applied
+
+    # --- helpers ----------------------------------------------------------
+    def _compiled_plan(self, query_id: str, graph: StageGraph) -> CompiledPlan:
+        compiled = self._compiled.get(query_id)
+        if compiled is None or compiled.graph is not graph:
+            compiled = compile_plan(graph)
+            self._compiled[query_id] = compiled
+        return compiled
+
+    def record_pool(self, now: float) -> None:
+        self.pool_skyline.record(now, self.arbiter.in_use)
+
+    def _idle_params(self, run: _QueryRun) -> tuple[float | None, int]:
+        if run.policy is not None:
+            return run.policy.idle_timeout, run.policy.min_executors
+        return (
+            self.config.idle_release_timeout,
+            max(1, self.config.min_executors_per_query),
+        )
+
+    def poll_scaling(self, now: float, q: int) -> None:
+        """Mirror the dedicated scheduler's per-event policy poll."""
+        run = self.runs[q]
+        policy = run.policy
+        if policy is None or run.finished:
+            return
+        core = run.core
+        state = AllocationState(
+            time=now - run.admit_time,
+            pending_tasks=core.pending_count(),
+            running_tasks=core.running,
+            active_executors=len(core.executors),
+            outstanding=run.outstanding,
+            cores_per_executor=self._ec,
+        )
+        target = min(self.arbiter.capacity, policy.desired_target(state))
+        granted = len(core.executors) + run.outstanding
+        if target > granted:
+            # Scale-up grabs whatever the pool can spare right now; the
+            # admission queue is only for the initial budget.
+            got = self.arbiter.try_acquire(q, run.arrival.app_id, target - granted)
+            if got:
+                for t in self.cluster.grant_schedule(now, got):
+                    self.push(t, "exec_arrive", q)
+                run.outstanding += got
+                self.record_pool(now)
+
+    # --- admission --------------------------------------------------------
+    def submit(
+        self,
+        now: float,
+        q: int,
+        arrival: QueryArrival,
+        budget: int,
+        cached: bool | None,
+        prediction_seconds: float,
+    ) -> None:
+        """Queue a routed query's budget request on this pool.
+
+        A budget beyond this pool's ``max_capacity`` is clamped — the
+        admitted grant is recorded in ``QueryRecord.executors_granted``,
+        so truncation is visible, and budget-aware routers
+        (:class:`~repro.fleet.routing.LeastQueuedRouter`,
+        :class:`~repro.fleet.routing.CostAwareRouter`) rank pools that
+        cannot cover the budget last to avoid it where possible.
+        """
+        budget = max(1, min(int(budget), self.arbiter.max_capacity))
+        self._pending[q] = (arrival, cached, prediction_seconds)
+        self.arbiter.submit(
+            AdmissionRequest(
+                query_index=q,
+                app_id=arrival.app_id,
+                executors=budget,
+                submit_time=now,
+            )
+        )
+        self.drain_admissions(now)
+        if q in self._pending:
+            # Queued, not admitted.  The tick chain must run anyway: an
+            # autoscaled pool may need a scale-up before it can admit
+            # *anything* (a budget above its current capacity), and the
+            # autoscaler only acts on ticks.  A single-pool FleetEngine
+            # never reaches this branch before its first admission (its
+            # budgets are clamped to the pool's capacity, so the first
+            # submit on an empty pool always admits), which keeps the
+            # tick anchoring — and bit-for-bit parity — unchanged.
+            self.start_ticks(now)
+
+    def drain_admissions(self, now: float) -> None:
+        admitted = self.arbiter.admit()
+        if admitted:
+            self.record_pool(now)
+            for request in admitted:
+                self._start_query(now, request)
+
+    def _start_query(self, now: float, request: AdmissionRequest) -> None:
+        q = request.query_index
+        arrival, cached, pred_seconds = self._pending.pop(q)
+        graph = self.workload.stage_graph(arrival.query_id)
+        policy = None
+        if self.config.scaling is not None:
+            policy = self.config.scaling(request.executors)
+            policy.reset()
+        run = _QueryRun(
+            arrival=arrival,
+            core=ExecutionCore(
+                self._compiled_plan(arrival.query_id, graph),
+                self.cluster,
+                self.config.scheduler,
+                start_time=now,
+            ),
+            budget=request.executors,
+            admit_time=now,
+            prediction_cached=cached,
+            prediction_seconds=pred_seconds,
+            emit=lambda t, sid, eid, q=q: self.push(t, "task_done", q, (sid, eid)),
+            policy=policy,
+            outstanding=request.executors,
+        )
+        self.runs[q] = run
+        # Push order mirrors the dedicated scheduler's bootstrap
+        # (driver_done, then the tick chain, then executor arrivals)
+        # so that same-instant ties break identically in both paths.
+        self.push(now + run.core.plan.driver_seconds, "driver_done", q)
+        self.start_ticks(now)
+        for t in self.cluster.grant_schedule(now, request.executors):
+            self.push(t, "exec_arrive", q)
+        self.poll_scaling(now, q)
+
+    # --- event handlers ---------------------------------------------------
+    def handle_driver_done(self, now: float, q: int) -> None:
+        run = self.runs[q]
+        run.core.mark_driver_done()
+        run.core.assign(now, run.emit)
+        self.poll_scaling(now, q)
+
+    def handle_exec_arrive(self, now: float, q: int) -> None:
+        run = self.runs[q]
+        run.outstanding -= 1
+        if run.finished:
+            # The query beat its own provisioning ramp; hand the late
+            # executor straight back to the pool.
+            self.arbiter.release(q, 1)
+            self.record_pool(now)
+            self.drain_admissions(now)
+        else:
+            run.core.add_executor(now)
+            run.core.assign(now, run.emit)
+            self.poll_scaling(now, q)
+
+    def handle_task_done(self, now: float, q: int, payload: tuple) -> bool:
+        """Returns ``True`` when this completion finished the query."""
+        run = self.runs[q]
+        stage_id, eid = payload
+        if run.core.complete_task(now, stage_id, eid):
+            self._finish_query(now, q)
+            self.drain_admissions(now)
+            return True
+        run.core.assign(now, run.emit)
+        self.poll_scaling(now, q)
+        return False
+
+    def _finish_query(self, now: float, q: int) -> None:
+        run = self.runs[q]
+        run.finished = True
+        arrived = len(run.core.executors)
+        run.core.executors.clear()
+        if arrived:
+            self.arbiter.release(q, arrived)
+            self.record_pool(now)
+        self.records[q] = QueryRecord(
+            query_id=run.arrival.query_id,
+            app_id=run.arrival.app_id,
+            arrival_time=run.arrival.arrival_time,
+            admit_time=run.admit_time,
+            finish_time=now,
+            executors_granted=run.budget,
+            auc=run.core.skyline.auc(now),
+            prediction_cached=run.prediction_cached,
+            prediction_seconds=run.prediction_seconds,
+            skyline=run.core.skyline,
+        )
+
+    def on_tick(self, now: float) -> None:
+        """Periodic work: idle release, then per-run scaling polls."""
+        released = False
+        for q, run in self.runs.items():
+            if run.finished:
+                continue
+            timeout, floor = self._idle_params(run)
+            removed = run.core.release_idle(now, timeout, floor)
+            if removed:
+                self.arbiter.release(q, len(removed))
+                released = True
+        if released:
+            self.record_pool(now)
+            self.drain_admissions(now)
+        if self.config.scaling is not None:
+            for q in self.runs:
+                self.poll_scaling(now, q)
+
+    # --- completion -------------------------------------------------------
+    def unfinished_queries(self) -> list[int]:
+        return [q for q, run in self.runs.items() if not run.finished]
+
+    def finalize(
+        self, serving_window: tuple[float, float] | None = None
+    ) -> FleetMetrics:
+        """Wrap this pool's outcome as :class:`FleetMetrics` (records in
+        stream order).
+
+        Args:
+            serving_window: the billing span to impose (a sharded fleet
+                passes the cluster-wide window so idle pools still pay
+                for their provisioned capacity); ``None`` bills this
+                pool's own records' span.
+        """
+        capacity = (
+            self.capacity_skyline.max_executors
+            if self.capacity_skyline is not None
+            else self.arbiter.capacity
+        )
+        return FleetMetrics(
+            capacity=capacity,
+            cores_per_executor=self._ec,
+            records=[self.records[q] for q in sorted(self.records)],
+            pool_skyline=self.pool_skyline,
+            capacity_skyline=self.capacity_skyline,
+            serving_window=serving_window,
+        )
 
 
 class FleetEngine:
@@ -168,34 +532,14 @@ class FleetEngine:
         # query id, so the id keys its compiled form across runs.
         self._compiled: dict[str, CompiledPlan] = {}
 
-    def _compiled_plan(self, query_id: str, graph: StageGraph) -> CompiledPlan:
-        compiled = self._compiled.get(query_id)
-        if compiled is None or compiled.graph is not graph:
-            compiled = compile_plan(graph)
-            self._compiled[query_id] = compiled
-        return compiled
-
     def serve(self, arrivals: Sequence[QueryArrival]) -> FleetMetrics:
         """Play out the whole stream; returns the fleet's metrics."""
         # Queries are keyed internally by *stream position*, never by the
         # user-supplied ``QueryArrival.index`` field — an earlier version
         # mixed the two, silently mismatching allocator decisions with
         # queries whenever index fields did not equal list positions.
-        stream = list(arrivals)
-        if not stream:
-            raise ValueError("cannot serve an empty arrival stream")
-        if len({a.index for a in stream}) != len(stream):
-            raise ValueError("arrival stream has duplicate indices")
-        arbiter = CapacityArbiter(self.capacity, self.admission)
-        pool_skyline = Skyline()
-        pool_skyline.record(0.0, 0)
+        stream = validate_stream(arrivals)
         config = self.config
-        cluster = self.cluster
-        ec = cluster.cores_per_executor
-        ticks_wanted = (
-            config.idle_release_timeout is not None
-            or config.scaling is not None
-        )
         ticking = False
 
         counter = itertools.count()
@@ -204,141 +548,27 @@ class FleetEngine:
         def push(time: float, kind: str, q: int = -1, payload=None) -> None:
             heapq.heappush(events, (time, next(counter), kind, q, payload))
 
-        runs: dict[int, _QueryRun] = {}
-        decisions: dict[int, tuple[int, bool | None, float]] = {}
-        records: dict[int, QueryRecord] = {}
-        unfinished = len(stream)
-
-        def record_pool(now: float) -> None:
-            pool_skyline.record(now, arbiter.in_use)
-
-        # --- per-query execution ----------------------------------------
-        def idle_params(run: _QueryRun) -> tuple[float | None, int]:
-            if run.policy is not None:
-                return run.policy.idle_timeout, run.policy.min_executors
-            return (
-                config.idle_release_timeout,
-                max(1, config.min_executors_per_query),
-            )
-
-        def poll_scaling(now: float, q: int) -> None:
-            """Mirror the dedicated scheduler's per-event policy poll."""
-            run = runs[q]
-            policy = run.policy
-            if policy is None or run.finished:
-                return
-            core = run.core
-            state = AllocationState(
-                time=now - run.admit_time,
-                pending_tasks=core.pending_count(),
-                running_tasks=core.running,
-                active_executors=len(core.executors),
-                outstanding=run.outstanding,
-                cores_per_executor=ec,
-            )
-            target = min(self.capacity, policy.desired_target(state))
-            granted = len(core.executors) + run.outstanding
-            if target > granted:
-                # Scale-up grabs whatever the pool can spare right now;
-                # the admission queue is only for the initial budget.
-                got = arbiter.try_acquire(
-                    q, run.arrival.app_id, target - granted
-                )
-                if got:
-                    for t in cluster.grant_schedule(now, got):
-                        push(t, "exec_arrive", q)
-                    run.outstanding += got
-                    record_pool(now)
-
-        def start_query(now: float, request: AdmissionRequest) -> None:
-            q = request.query_index
-            arrival = stream[q]
-            graph = self.workload.stage_graph(arrival.query_id)
-            _, cached, pred_seconds = decisions[q]
-            policy = None
-            if config.scaling is not None:
-                policy = config.scaling(request.executors)
-                policy.reset()
-            run = _QueryRun(
-                arrival=arrival,
-                core=ExecutionCore(
-                    self._compiled_plan(arrival.query_id, graph),
-                    cluster,
-                    config.scheduler,
-                    start_time=now,
-                ),
-                budget=request.executors,
-                admit_time=now,
-                prediction_cached=cached,
-                prediction_seconds=pred_seconds,
-                emit=lambda t, sid, eid, q=q: push(
-                    t, "task_done", q, (sid, eid)
-                ),
-                policy=policy,
-                outstanding=request.executors,
-            )
-            runs[q] = run
-            # Push order mirrors the dedicated scheduler's bootstrap
-            # (driver_done, then the tick chain, then executor arrivals)
-            # so that same-instant ties break identically in both paths.
-            push(now + run.core.plan.driver_seconds, "driver_done", q)
-            start_ticks(now)
-            for t in cluster.grant_schedule(now, request.executors):
-                push(t, "exec_arrive", q)
-            poll_scaling(now, q)
-
         def start_ticks(now: float) -> None:
             # The tick chain is anchored at the first admission, matching
             # the single-query scheduler's ticks at k·tick_interval from
             # query submission.
             nonlocal ticking
-            if ticks_wanted and not ticking:
+            if config.wants_ticks and not ticking:
                 ticking = True
                 push(now + config.tick_interval, "tick")
 
-        def finish_query(now: float, q: int) -> None:
-            nonlocal unfinished
-            run = runs[q]
-            run.finished = True
-            unfinished -= 1
-            arrived = len(run.core.executors)
-            run.core.executors.clear()
-            if arrived:
-                arbiter.release(q, arrived)
-                record_pool(now)
-            records[q] = QueryRecord(
-                query_id=run.arrival.query_id,
-                app_id=run.arrival.app_id,
-                arrival_time=run.arrival.arrival_time,
-                admit_time=run.admit_time,
-                finish_time=now,
-                executors_granted=run.budget,
-                auc=run.core.skyline.auc(now),
-                prediction_cached=run.prediction_cached,
-                prediction_seconds=run.prediction_seconds,
-                skyline=run.core.skyline,
-            )
-
-        def drain_admissions(now: float) -> None:
-            admitted = arbiter.admit()
-            if admitted:
-                record_pool(now)
-                for request in admitted:
-                    start_query(now, request)
-
-        def release_idle(now: float) -> None:
-            released = False
-            for q, run in runs.items():
-                if run.finished:
-                    continue
-                timeout, floor = idle_params(run)
-                removed = run.core.release_idle(now, timeout, floor)
-                if removed:
-                    arbiter.release(q, len(removed))
-                    released = True
-            if released:
-                record_pool(now)
-                drain_admissions(now)
+        runtime = PoolRuntime(
+            workload=self.workload,
+            capacity=self.capacity,
+            cluster=self.cluster,
+            admission=self.admission,
+            config=config,
+            push=push,
+            start_ticks=start_ticks,
+            compiled=self._compiled,
+        )
+        decisions: dict[int, tuple[int, bool | None, float]] = {}
+        unfinished = len(stream)
 
         # --- bootstrap ---------------------------------------------------
         for pos, arrival in enumerate(stream):
@@ -350,88 +580,53 @@ class FleetEngine:
             if kind == "arrive":
                 arrival = stream[q]
                 plan = self.workload.optimized_plan(arrival.query_id)
-                decision = self.allocator(arrival.query_id, plan)
-                if hasattr(decision, "executors"):
-                    budget = int(decision.executors)
-                    cached = decision.cached
-                    seconds = float(decision.seconds)
-                else:
-                    budget, cached, seconds = int(decision), None, 0.0
-                budget = max(1, min(budget, self.capacity))
-                decisions[q] = (budget, cached, seconds)
-                delay = (
-                    seconds if config.charge_prediction_overhead else 0.0
+                budget, cached, seconds, _ = decision_fields(
+                    self.allocator(arrival.query_id, plan), self.capacity
                 )
+                decisions[q] = (budget, cached, seconds)
+                delay = seconds if config.charge_prediction_overhead else 0.0
                 push(now + delay, "submit", q)
             elif kind == "submit":
-                arrival = stream[q]
-                budget, _, _ = decisions[q]
-                arbiter.submit(
-                    AdmissionRequest(
-                        query_index=q,
-                        app_id=arrival.app_id,
-                        executors=budget,
-                        submit_time=now,
-                    )
-                )
-                drain_admissions(now)
+                budget, cached, seconds = decisions[q]
+                runtime.submit(now, q, stream[q], budget, cached, seconds)
             elif kind == "driver_done":
-                run = runs[q]
-                run.core.mark_driver_done()
-                run.core.assign(now, run.emit)
-                poll_scaling(now, q)
+                runtime.handle_driver_done(now, q)
             elif kind == "exec_arrive":
-                run = runs[q]
-                run.outstanding -= 1
-                if run.finished:
-                    # The query beat its own provisioning ramp; hand the
-                    # late executor straight back to the pool.
-                    arbiter.release(q, 1)
-                    record_pool(now)
-                    drain_admissions(now)
-                else:
-                    run.core.add_executor(now)
-                    run.core.assign(now, run.emit)
-                    poll_scaling(now, q)
+                runtime.handle_exec_arrive(now, q)
             elif kind == "task_done":
-                run = runs[q]
-                stage_id, eid = payload
-                if run.core.complete_task(now, stage_id, eid):
-                    finish_query(now, q)
-                    drain_admissions(now)
-                else:
-                    run.core.assign(now, run.emit)
-                    poll_scaling(now, q)
+                if runtime.handle_task_done(now, q, payload):
+                    unfinished -= 1
             elif kind == "tick":
-                release_idle(now)
-                if config.scaling is not None:
-                    for pos in runs:
-                        poll_scaling(now, pos)
+                runtime.on_tick(now)
                 if unfinished > 0:
                     if not events:
                         # Stall guard: the tick chain is the only thing
                         # left, so no run will ever release or acquire
                         # capacity again.  Without this check the ticks
                         # would spin forever.
-                        _raise_stalled(arbiter, unfinished)
+                        _raise_stalled(runtime.arbiter, unfinished)
                     push(now + config.tick_interval, "tick")
 
         if unfinished > 0:
-            if arbiter.queue_length > 0:
-                _raise_stalled(arbiter, unfinished)
-            stuck = [q for q, r in runs.items() if not r.finished]
+            if runtime.arbiter.queue_length > 0:
+                _raise_stalled(runtime.arbiter, unfinished)
             raise RuntimeError(
                 f"fleet run ended with {unfinished} unfinished queries "
-                f"(running: {stuck}, queued: {arbiter.queue_length})"
+                f"(running: {runtime.unfinished_queries()}, "
+                f"queued: {runtime.arbiter.queue_length})"
             )
 
-        ordered = [records[pos] for pos in range(len(stream))]
-        return FleetMetrics(
-            capacity=self.capacity,
-            cores_per_executor=ec,
-            records=ordered,
-            pool_skyline=pool_skyline,
-        )
+        return runtime.finalize()
+
+
+def validate_stream(arrivals: Sequence[QueryArrival]) -> list[QueryArrival]:
+    """The shared arrival-stream checks all fleet drivers apply."""
+    stream = list(arrivals)
+    if not stream:
+        raise ValueError("cannot serve an empty arrival stream")
+    if len({a.index for a in stream}) != len(stream):
+        raise ValueError("arrival stream has duplicate indices")
+    return stream
 
 
 def _raise_stalled(arbiter: CapacityArbiter, unfinished: int) -> None:

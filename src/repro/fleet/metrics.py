@@ -8,12 +8,22 @@ utilization, and the total dollar cost of every executor-second held.
 
 Cost uses the paper's metric — total executor occupancy, ``∫ n_s ds`` —
 priced at the testbed's rate: Azure Synapse bills per vCore-hour, so a
-4-core executor accrues ``4 × $0.15`` per hour by default.
+4-core executor accrues ``4 × $0.15`` per hour by default.  Pools whose
+capacity is elastic (a :class:`repro.fleet.autoscaler.PoolAutoscaler`
+resizing them) additionally carry a *capacity skyline*, and their bill
+charges autoscaled-but-idle capacity too: every provisioned
+executor-second is paid for, whether a query occupied it or not.
+
+:class:`ClusterMetrics` rolls many pools' :class:`FleetMetrics` up into
+the sharded-fleet view (:mod:`repro.fleet.cluster`): cluster-wide
+latency percentiles and queue delays over all served queries, plus
+summed occupancy, idle-capacity, and dollar costs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -23,6 +33,7 @@ __all__ = [
     "DEFAULT_PRICE_PER_CORE_HOUR",
     "QueryRecord",
     "FleetMetrics",
+    "ClusterMetrics",
 ]
 
 #: Azure Synapse Spark pricing ballpark: $0.15 per vCore-hour.
@@ -79,25 +90,79 @@ class QueryRecord:
         return self.finish_time - self.admit_time
 
 
+def _latency_percentile(records: Sequence[QueryRecord], q: float) -> float:
+    if not records:
+        return 0.0
+    return float(np.percentile([r.latency for r in records], q))
+
+
+def _mean_queue_delay(records: Sequence[QueryRecord]) -> float:
+    if not records:
+        return 0.0
+    return float(np.mean([r.queue_delay for r in records]))
+
+
+def _max_queue_delay(records: Sequence[QueryRecord]) -> float:
+    if not records:
+        return 0.0
+    return max(r.queue_delay for r in records)
+
+
+def _serving_window(records: Sequence[QueryRecord]) -> tuple[float, float]:
+    """First arrival to last completion — the span capacity is billed over."""
+    if not records:
+        return (0.0, 0.0)
+    start = min(r.arrival_time for r in records)
+    end = max(r.finish_time for r in records)
+    return (start, end)
+
+
+def _cache_hit_rate(records: Sequence[QueryRecord]) -> float:
+    flagged = [
+        r.prediction_cached for r in records if r.prediction_cached is not None
+    ]
+    if not flagged:
+        return 0.0
+    return float(np.mean(flagged))
+
+
 @dataclass
 class FleetMetrics:
     """Aggregate outcome of one fleet run.
 
     Attributes:
-        capacity: pool size (executors).
+        capacity: pool size (executors).  For an autoscaled pool this is
+            the peak provisioned size the run reached.
         cores_per_executor: executor width, for dollar pricing.
         records: one :class:`QueryRecord` per served query, stream order.
         pool_skyline: reserved-capacity step function over the run — the
             arbiter's outstanding grants; its peak must never exceed
-            ``capacity``.
-        price_per_core_hour: billing rate for the dollar-cost metric.
+            the capacity in effect at that instant.
+        capacity_skyline: provisioned-capacity step function, recorded
+            only for autoscaled pools (``None`` means statically
+            provisioned).  The gap between this and ``pool_skyline`` is
+            idle autoscaled capacity — provisioned, billable, unused.
+        serving_window: the ``(start, end)`` span capacity is billed
+            over.  A pool inside a sharded fleet bills the *cluster's*
+            window — a pool the router never picked still pays for its
+            provisioned floor the whole run — while ``None`` (a
+            standalone pool) falls back to this pool's own first-arrival
+            → last-finish span.
+        price_per_core_hour: billing rate for the dollar-cost metrics.
     """
 
     capacity: int
     cores_per_executor: int
     records: list[QueryRecord] = field(default_factory=list)
     pool_skyline: Skyline = field(default_factory=Skyline)
+    capacity_skyline: Skyline | None = None
+    serving_window: tuple[float, float] | None = None
     price_per_core_hour: float = DEFAULT_PRICE_PER_CORE_HOUR
+
+    def _window(self) -> tuple[float, float]:
+        if self.serving_window is not None:
+            return self.serving_window
+        return _serving_window(self.records)
 
     @property
     def n_queries(self) -> int:
@@ -106,19 +171,12 @@ class FleetMetrics:
     @property
     def makespan(self) -> float:
         """First arrival to last completion."""
-        if not self.records:
-            return 0.0
-        start = min(r.arrival_time for r in self.records)
-        end = max(r.finish_time for r in self.records)
+        start, end = _serving_window(self.records)
         return end - start
 
     def latency_percentile(self, q: float) -> float:
         """The ``q``-th percentile of end-to-end query latency."""
-        if not self.records:
-            return 0.0
-        return float(
-            np.percentile([r.latency for r in self.records], q)
-        )
+        return _latency_percentile(self.records, q)
 
     @property
     def p50_latency(self) -> float:
@@ -134,15 +192,11 @@ class FleetMetrics:
 
     @property
     def mean_queue_delay(self) -> float:
-        if not self.records:
-            return 0.0
-        return float(np.mean([r.queue_delay for r in self.records]))
+        return _mean_queue_delay(self.records)
 
     @property
     def max_queue_delay(self) -> float:
-        if not self.records:
-            return 0.0
-        return max(r.queue_delay for r in self.records)
+        return _max_queue_delay(self.records)
 
     @property
     def peak_pool_usage(self) -> int:
@@ -151,8 +205,21 @@ class FleetMetrics:
 
     @property
     def capacity_respected(self) -> bool:
-        """The fleet's core invariant: grants never exceeded the pool."""
-        return self.peak_pool_usage <= self.capacity
+        """The fleet's core invariant: grants never exceeded the pool.
+
+        With a time-varying capacity skyline the check is pointwise:
+        reserved capacity must sit at or below provisioned capacity at
+        every step of either skyline.
+        """
+        if self.capacity_skyline is None:
+            return self.peak_pool_usage <= self.capacity
+        return all(
+            count <= self.capacity_skyline.value_at(t)
+            for t, count in self.pool_skyline.points
+        ) and all(
+            self.pool_skyline.value_at(t) <= count
+            for t, count in self.capacity_skyline.points
+        )
 
     @property
     def total_executor_seconds(self) -> float:
@@ -161,32 +228,80 @@ class FleetMetrics:
         return sum(r.auc for r in self.records)
 
     @property
-    def total_dollar_cost(self) -> float:
-        core_hours = (
-            self.total_executor_seconds * self.cores_per_executor / 3600.0
+    def provisioned_executor_seconds(self) -> float:
+        """Capacity provisioned over the serving window, in
+        executor-seconds — what a pay-for-provisioned bill meters."""
+        start, end = self._window()
+        if end <= start:
+            return 0.0
+        if self.capacity_skyline is None:
+            return self.capacity * (end - start)
+        return self.capacity_skyline.auc(end) - self.capacity_skyline.auc(start)
+
+    @property
+    def reserved_executor_seconds(self) -> float:
+        """Grants held by queries over the serving window (the pool
+        skyline's area — reserved from admission, counting executors
+        still in their provisioning ramp)."""
+        start, end = self._window()
+        if end <= start:
+            return 0.0
+        return self.pool_skyline.auc(end) - self.pool_skyline.auc(start)
+
+    @property
+    def idle_capacity_seconds(self) -> float:
+        """Autoscaled capacity that sat provisioned but unoccupied.
+
+        Zero for statically provisioned pools (no capacity skyline); for
+        autoscaled pools this is the billable gap between provisioned
+        capacity and the executor-seconds queries actually occupied —
+        including capacity reserved by grants whose executors had not
+        arrived yet, so occupancy plus this term bills every provisioned
+        executor-second.
+        """
+        if self.capacity_skyline is None:
+            return 0.0
+        return max(
+            0.0, self.provisioned_executor_seconds - self.total_executor_seconds
         )
+
+    def _dollars(self, executor_seconds: float) -> float:
+        core_hours = executor_seconds * self.cores_per_executor / 3600.0
         return core_hours * self.price_per_core_hour
 
+    @property
+    def idle_capacity_dollar_cost(self) -> float:
+        return self._dollars(self.idle_capacity_seconds)
+
+    @property
+    def total_dollar_cost(self) -> float:
+        """Occupancy cost plus the bill for autoscaled-but-idle capacity.
+
+        A statically provisioned pool charges pure occupancy (the
+        paper's metric); capacity an autoscaler provisioned is paid for
+        whether queries used it or not.
+        """
+        return self._dollars(
+            self.total_executor_seconds + self.idle_capacity_seconds
+        )
+
+    @property
+    def provisioned_dollar_cost(self) -> float:
+        """What the whole provisioned pool costs over the serving window
+        — the apples-to-apples bill when comparing static provisioning
+        against autoscaling."""
+        return self._dollars(self.provisioned_executor_seconds)
+
     def utilization(self) -> float:
-        """Mean fraction of the pool reserved over the makespan."""
-        span = self.makespan
-        if span <= 0 or not self.records:
+        """Mean fraction of provisioned capacity reserved over the run."""
+        provisioned = self.provisioned_executor_seconds
+        if provisioned <= 0:
             return 0.0
-        start = min(r.arrival_time for r in self.records)
-        end = max(r.finish_time for r in self.records)
-        reserved = self.pool_skyline.auc(end) - self.pool_skyline.auc(start)
-        return reserved / (self.capacity * span)
+        return self.reserved_executor_seconds / provisioned
 
     def prediction_cache_hit_rate(self) -> float:
         """Fraction of predictive decisions served from the memo cache."""
-        flagged = [
-            r.prediction_cached
-            for r in self.records
-            if r.prediction_cached is not None
-        ]
-        if not flagged:
-            return 0.0
-        return float(np.mean(flagged))
+        return _cache_hit_rate(self.records)
 
     def summary(self) -> dict[str, float]:
         """The headline numbers as a flat dict (benchmark-friendly)."""
@@ -201,7 +316,10 @@ class FleetMetrics:
             "peak_pool_usage": float(self.peak_pool_usage),
             "utilization": self.utilization(),
             "total_executor_seconds": self.total_executor_seconds,
+            "idle_capacity_seconds": self.idle_capacity_seconds,
+            "provisioned_executor_seconds": self.provisioned_executor_seconds,
             "total_dollar_cost": self.total_dollar_cost,
+            "provisioned_dollar_cost": self.provisioned_dollar_cost,
             "prediction_cache_hit_rate": self.prediction_cache_hit_rate(),
         }
 
@@ -219,7 +337,159 @@ class FleetMetrics:
             f"executors",
             f"pool utilization      {s['utilization']:10.1%}",
             f"executor-seconds      {s['total_executor_seconds']:10.0f}",
+            f"idle capacity cost    ${self.idle_capacity_dollar_cost:9.2f}",
             f"total cost            ${s['total_dollar_cost']:9.2f}",
+            f"provisioned cost      ${s['provisioned_dollar_cost']:9.2f}",
             f"prediction cache hit  {s['prediction_cache_hit_rate']:10.1%}",
         ]
+        return "\n".join(lines)
+
+
+@dataclass
+class ClusterMetrics:
+    """Aggregate outcome of one sharded-fleet run.
+
+    Attributes:
+        pools: per-pool :class:`FleetMetrics`, pool-index order.
+        records: every served query's :class:`QueryRecord`, arrival-stream
+            order, across all pools.
+        pool_of: parallel to ``records`` — which pool served each query.
+        price_per_core_hour: billing rate (pools carry their own copy;
+            this one prices nothing, it is echoed for reporting).
+    """
+
+    pools: list[FleetMetrics]
+    records: list[QueryRecord] = field(default_factory=list)
+    pool_of: list[int] = field(default_factory=list)
+    price_per_core_hour: float = DEFAULT_PRICE_PER_CORE_HOUR
+
+    @property
+    def n_pools(self) -> int:
+        return len(self.pools)
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.records)
+
+    @property
+    def makespan(self) -> float:
+        start, end = _serving_window(self.records)
+        return end - start
+
+    def latency_percentile(self, q: float) -> float:
+        return _latency_percentile(self.records, q)
+
+    @property
+    def p50_latency(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p95_latency(self) -> float:
+        return self.latency_percentile(95)
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency_percentile(99)
+
+    @property
+    def mean_queue_delay(self) -> float:
+        return _mean_queue_delay(self.records)
+
+    @property
+    def max_queue_delay(self) -> float:
+        return _max_queue_delay(self.records)
+
+    @property
+    def capacity_respected(self) -> bool:
+        """Every pool honoured its (possibly time-varying) capacity."""
+        return all(pool.capacity_respected for pool in self.pools)
+
+    @property
+    def total_capacity(self) -> int:
+        """Summed pool capacities (peak provisioned for autoscaled pools)."""
+        return sum(pool.capacity for pool in self.pools)
+
+    @property
+    def total_executor_seconds(self) -> float:
+        return sum(pool.total_executor_seconds for pool in self.pools)
+
+    @property
+    def idle_capacity_seconds(self) -> float:
+        return sum(pool.idle_capacity_seconds for pool in self.pools)
+
+    @property
+    def provisioned_executor_seconds(self) -> float:
+        return sum(pool.provisioned_executor_seconds for pool in self.pools)
+
+    @property
+    def total_dollar_cost(self) -> float:
+        return sum(pool.total_dollar_cost for pool in self.pools)
+
+    @property
+    def idle_capacity_dollar_cost(self) -> float:
+        return sum(pool.idle_capacity_dollar_cost for pool in self.pools)
+
+    @property
+    def provisioned_dollar_cost(self) -> float:
+        return sum(pool.provisioned_dollar_cost for pool in self.pools)
+
+    def utilization(self) -> float:
+        """Reserved over provisioned executor-seconds, cluster-wide."""
+        provisioned = self.provisioned_executor_seconds
+        if provisioned <= 0:
+            return 0.0
+        reserved = sum(pool.reserved_executor_seconds for pool in self.pools)
+        return reserved / provisioned
+
+    def prediction_cache_hit_rate(self) -> float:
+        return _cache_hit_rate(self.records)
+
+    def queries_per_pool(self) -> list[int]:
+        return [pool.n_queries for pool in self.pools]
+
+    def summary(self) -> dict[str, float]:
+        """The cluster's headline numbers as a flat dict."""
+        return {
+            "n_pools": float(self.n_pools),
+            "n_queries": float(self.n_queries),
+            "makespan_s": self.makespan,
+            "p50_latency_s": self.p50_latency,
+            "p95_latency_s": self.p95_latency,
+            "p99_latency_s": self.p99_latency,
+            "mean_queue_delay_s": self.mean_queue_delay,
+            "max_queue_delay_s": self.max_queue_delay,
+            "utilization": self.utilization(),
+            "total_executor_seconds": self.total_executor_seconds,
+            "idle_capacity_seconds": self.idle_capacity_seconds,
+            "provisioned_executor_seconds": self.provisioned_executor_seconds,
+            "total_dollar_cost": self.total_dollar_cost,
+            "provisioned_dollar_cost": self.provisioned_dollar_cost,
+            "prediction_cache_hit_rate": self.prediction_cache_hit_rate(),
+        }
+
+    def describe(self) -> str:
+        """A human-readable cluster report with a per-pool breakdown."""
+        s = self.summary()
+        lines = [
+            f"pools                 {self.n_pools}",
+            f"queries served        {self.n_queries}",
+            f"makespan              {s['makespan_s']:10.1f} s",
+            f"latency p50/p95/p99   {s['p50_latency_s']:.1f} / "
+            f"{s['p95_latency_s']:.1f} / {s['p99_latency_s']:.1f} s",
+            f"mean queueing delay   {s['mean_queue_delay_s']:10.1f} s",
+            f"max queueing delay    {s['max_queue_delay_s']:10.1f} s",
+            f"cluster utilization   {s['utilization']:10.1%}",
+            f"executor-seconds      {s['total_executor_seconds']:10.0f}",
+            f"idle capacity cost    ${self.idle_capacity_dollar_cost:9.2f}",
+            f"total cost            ${s['total_dollar_cost']:9.2f}",
+            f"provisioned cost      ${s['provisioned_dollar_cost']:9.2f}",
+            f"prediction cache hit  {s['prediction_cache_hit_rate']:10.1%}",
+        ]
+        for i, pool in enumerate(self.pools):
+            lines.append(
+                f"  pool {i}: {pool.n_queries:4d} queries, "
+                f"peak {pool.peak_pool_usage}/{pool.capacity} executors, "
+                f"util {pool.utilization():6.1%}, "
+                f"${pool.total_dollar_cost:8.2f}"
+            )
         return "\n".join(lines)

@@ -48,11 +48,16 @@ class Prediction:
         cached: whether the plan signature hit the memo cache.
         seconds: wall-clock selection overhead of this call (featurize +
             lookup, plus model inference and selection on a miss).
+        estimated_runtime_seconds: the PPM's predicted run time at the
+            selected count — the cost signal sharded-fleet routing
+            (:class:`repro.fleet.routing.CostAwareRouter`) weighs queued
+            work by.  ``None`` when the scorer predicts no curve.
     """
 
     executors: int
     cached: bool
     seconds: float
+    estimated_runtime_seconds: float | None = None
 
 
 class PredictionService:
@@ -81,7 +86,8 @@ class PredictionService:
         self.objective = objective
         self.min_executors = int(min_executors)
         self.max_executors = int(max_executors)
-        self._cache: dict[tuple[float, ...], int] = {}
+        # signature -> (chosen count, predicted runtime at that count)
+        self._cache: dict[tuple[float, ...], tuple[int, float]] = {}
         # Featurization memo for the fleet path, keyed like the engine's
         # compiled-plan memo: one optimized plan per query id, so the id
         # keys its feature vector and recurring arrivals skip the plan
@@ -121,10 +127,19 @@ class PredictionService:
             return plan_or_features
         return QueryFeatures.from_plan(plan_or_features)
 
-    def _select(self, ppm) -> int:
+    def _select(self, ppm) -> tuple[int, float]:
+        """The chosen count and the predicted run time at that count."""
         curve = ppm.predict_curve(self.n_grid)
         chosen = self.objective(self.n_grid, curve)
-        return int(np.clip(chosen, self.min_executors, self.max_executors))
+        chosen = int(np.clip(chosen, self.min_executors, self.max_executors))
+        # The objective picks off the grid we already scored; only a
+        # clamp that moved the count off-grid costs a second inference.
+        on_grid = np.nonzero(self.n_grid == chosen)[0]
+        if on_grid.size:
+            runtime = float(curve[on_grid[0]])
+        else:
+            runtime = float(np.asarray(ppm.predict_curve([chosen]))[0])
+        return chosen, runtime
 
     def predict(self, plan_or_features) -> Prediction:
         """Serve one decision, measuring its wall-clock overhead."""
@@ -138,14 +153,19 @@ class PredictionService:
         cached = key in self._cache
         if cached:
             self.hits += 1
-            chosen = self._cache[key]
+            chosen, runtime = self._cache[key]
         else:
             self.misses += 1
-            chosen = self._select(self.scorer.predict_ppm(features))
-            self._cache[key] = chosen
+            chosen, runtime = self._select(self.scorer.predict_ppm(features))
+            self._cache[key] = (chosen, runtime)
         elapsed = time.perf_counter() - start
         self.total_seconds += elapsed
-        return Prediction(executors=chosen, cached=cached, seconds=elapsed)
+        return Prediction(
+            executors=chosen,
+            cached=cached,
+            seconds=elapsed,
+            estimated_runtime_seconds=runtime,
+        )
 
     def predict_batch(self, plans: Sequence) -> list[Prediction]:
         """Serve many decisions at once, batching uncached inference.
@@ -192,11 +212,13 @@ class PredictionService:
             else:
                 self.misses += 1
                 missed.discard(key)  # later repeats in the batch are hits
+            chosen, runtime = self._cache[key]
             out.append(
                 Prediction(
-                    executors=self._cache[key],
+                    executors=chosen,
                     cached=cached,
                     seconds=0.0 if cached else per_miss,
+                    estimated_runtime_seconds=runtime,
                 )
             )
         self.total_seconds += elapsed

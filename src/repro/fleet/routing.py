@@ -1,0 +1,188 @@
+"""Routing policies: which pool serves the next arriving query.
+
+A sharded fleet (:mod:`repro.fleet.cluster`) multiplexes arrivals across
+several executor pools.  The router is consulted once per query, at
+submit time (after the allocator has decided its executor budget and —
+for predictive allocators — estimated its run time), with a live
+snapshot of every pool; queued work is never re-routed, so the decision
+is made exactly where a production gateway makes it: in front of the
+queues, with only aggregate pool state to go on.
+
+Three policies, in increasing order of information used:
+
+- :class:`RoundRobinRouter` — cycles through pools, blind to load; the
+  baseline every informed policy must beat.
+- :class:`LeastQueuedRouter` — joins the shortest admission queue
+  (ties: more free capacity, then lowest index) — the classic
+  join-shortest-queue heuristic on queue *length*.
+- :class:`CostAwareRouter` — scores each pool by the *work* ahead of
+  the query, in predicted executor-seconds, using the
+  :class:`~repro.fleet.prediction.PredictionService` run-time estimate
+  that rides on each decision.  Occupancy dollars are
+  placement-invariant (the same query occupies the same
+  executor-seconds wherever it runs), so minimizing time-to-capacity is
+  what cost-aware placement means here: less queueing for the same
+  bill, and fewer scale-ups for the autoscaler to pay for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+__all__ = [
+    "PoolView",
+    "RoutingRequest",
+    "Router",
+    "RoundRobinRouter",
+    "LeastQueuedRouter",
+    "CostAwareRouter",
+    "DEFAULT_RUNTIME_ESTIMATE_S",
+]
+
+#: Fallback per-query run-time estimate (seconds) when the allocator
+#: carries none (static/oracle allocators return bare ints).
+DEFAULT_RUNTIME_ESTIMATE_S = 60.0
+
+
+@dataclass(frozen=True)
+class PoolView:
+    """Read-only snapshot of one pool, as the router sees it.
+
+    Attributes:
+        index: pool position in the cluster.
+        capacity: current provisioned size (executors) — time-varying
+            under an autoscaler.
+        max_capacity: ceiling the pool may autoscale to.
+        free: uncommitted capacity right now.
+        in_use: executors reserved by admitted queries.
+        queue_length: requests waiting for admission.
+        queued_executors: total executor demand sitting in the queue.
+        queued_work_seconds: predicted executor-seconds of queued work
+            (budget × estimated run time per request, with
+            :data:`DEFAULT_RUNTIME_ESTIMATE_S` standing in where the
+            allocator provided no estimate).
+        active_queries: admitted queries still running.
+        oldest_submit_time: submit time of the longest-waiting queued
+            request (``None`` on an empty queue) — the autoscaler's
+            queue-delay signal.
+    """
+
+    index: int
+    capacity: int
+    max_capacity: int
+    free: int
+    in_use: int
+    queue_length: int
+    queued_executors: int
+    queued_work_seconds: float
+    active_queries: int
+    oldest_submit_time: float | None = None
+
+
+@dataclass(frozen=True)
+class RoutingRequest:
+    """One query to place: its identity, budget, and runtime estimate."""
+
+    query_id: str
+    app_id: int
+    budget: int
+    estimated_runtime_seconds: float | None
+    submit_time: float
+
+    @property
+    def runtime_estimate(self) -> float:
+        if self.estimated_runtime_seconds is None:
+            return DEFAULT_RUNTIME_ESTIMATE_S
+        return float(self.estimated_runtime_seconds)
+
+
+class Router(Protocol):
+    """Chooses the pool that serves a query."""
+
+    name: str
+
+    def pick(self, request: RoutingRequest, pools: Sequence[PoolView]) -> int:
+        """Return the index of the pool to submit ``request`` to."""
+        ...  # pragma: no cover
+
+
+class RoundRobinRouter:
+    """Cycle through pools in index order, ignoring load."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def pick(self, request: RoutingRequest, pools: Sequence[PoolView]) -> int:
+        chosen = self._next % len(pools)
+        self._next = chosen + 1
+        return chosen
+
+
+class LeastQueuedRouter:
+    """Join the shortest admission queue.
+
+    Pools too small to ever grant the query's full budget (their
+    ``max_capacity`` is below it) are considered last — on a
+    heterogeneous cluster a budget should not be silently truncated to
+    a small pool while a big one sits available.  Among same-size-class
+    pools the key is queue length, then queued executor demand, then
+    the most free capacity, then the lowest index — so an idle cluster
+    degrades to filling pools in index order, deterministically.
+    """
+
+    name = "least_queued"
+
+    def pick(self, request: RoutingRequest, pools: Sequence[PoolView]) -> int:
+        return min(
+            range(len(pools)),
+            key=lambda i: (
+                pools[i].max_capacity < request.budget,
+                pools[i].queue_length,
+                pools[i].queued_executors,
+                -pools[i].free,
+                i,
+            ),
+        )
+
+
+class CostAwareRouter:
+    """Place each query where the least predicted work stands before it.
+
+    Every pool is scored by the executor-seconds the arriving query
+    would wait behind, normalized by the pool's service rate (its
+    current capacity): the queued work already committed to the pool,
+    plus whatever part of this query's own predicted demand
+    (``budget × estimated runtime``) exceeds the pool's free capacity
+    right now.  A pool that can admit the query immediately scores
+    zero; among those, the *best fit* (smallest sufficient ``free``)
+    wins, keeping large contiguous capacity available for the big
+    requests the prediction service will route later.  Pools whose
+    ``max_capacity`` cannot cover the budget at all rank last — the
+    budget would be silently truncated there (see
+    :meth:`~repro.fleet.engine.PoolRuntime.submit`).
+    """
+
+    name = "cost_aware"
+
+    def pick(self, request: RoutingRequest, pools: Sequence[PoolView]) -> int:
+        estimate = request.runtime_estimate
+
+        def score(view: PoolView) -> tuple:
+            undersized = view.max_capacity < request.budget
+            fits_now = view.queue_length == 0 and view.free >= request.budget
+            if fits_now:
+                # Immediate admission: best fit first, index for ties.
+                return (undersized, 0.0, view.free, view.index)
+            overflow = max(0, request.budget - view.free)
+            work_ahead = view.queued_work_seconds + overflow * estimate
+            return (
+                undersized,
+                work_ahead / max(1, view.capacity),
+                view.free,
+                view.index,
+            )
+
+        return min(range(len(pools)), key=lambda i: score(pools[i]))

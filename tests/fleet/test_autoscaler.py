@@ -1,0 +1,171 @@
+"""Autoscaler unit tests: signals, lag accounting, cooldown, clamps."""
+
+import pytest
+
+from repro.fleet.autoscaler import AutoscalerConfig, PoolAutoscaler
+from repro.fleet.routing import PoolView
+
+
+CFG = AutoscalerConfig(
+    min_capacity=4,
+    max_capacity=32,
+    scale_up_step=8,
+    scale_down_step=4,
+    scale_up_lag_s=10.0,
+    scale_down_cooldown_s=30.0,
+    queue_delay_threshold_s=5.0,
+    high_utilization=0.85,
+    low_utilization=0.40,
+)
+
+
+def view(
+    capacity=16,
+    in_use=0,
+    queue_length=0,
+    queued_executors=0,
+    oldest_submit_time=None,
+):
+    return PoolView(
+        index=0,
+        capacity=capacity,
+        max_capacity=CFG.max_capacity,
+        free=max(0, capacity - in_use),
+        in_use=in_use,
+        queue_length=queue_length,
+        queued_executors=queued_executors,
+        queued_work_seconds=0.0,
+        active_queries=0,
+        oldest_submit_time=oldest_submit_time,
+    )
+
+
+class TestConfigValidation:
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_capacity=8, max_capacity=4)
+
+    def test_rejects_inverted_utilization_band(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(
+                min_capacity=1,
+                max_capacity=8,
+                low_utilization=0.9,
+                high_utilization=0.5,
+            )
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_capacity=1, max_capacity=8, scale_up_step=0)
+
+
+class TestScaleUp:
+    def test_long_queue_wait_triggers_growth(self):
+        scaler = PoolAutoscaler(CFG)
+        v = view(capacity=16, in_use=16, queue_length=2, queued_executors=16,
+                 oldest_submit_time=0.0)
+        assert scaler.evaluate(10.0, v) == 8  # full step: demand 32 > 16
+
+    def test_high_utilization_with_queue_triggers_growth(self):
+        scaler = PoolAutoscaler(CFG)
+        v = view(capacity=16, in_use=15, queue_length=1, queued_executors=8,
+                 oldest_submit_time=9.0)
+        assert scaler.evaluate(10.0, v) > 0
+
+    def test_no_queue_no_growth_even_when_busy(self):
+        scaler = PoolAutoscaler(CFG)
+        v = view(capacity=16, in_use=16)
+        assert scaler.evaluate(10.0, v) == 0
+
+    def test_growth_clamped_to_demand(self):
+        scaler = PoolAutoscaler(CFG)
+        v = view(capacity=16, in_use=16, queue_length=1, queued_executors=2,
+                 oldest_submit_time=0.0)
+        assert scaler.evaluate(10.0, v) == 2  # demand 18, provisioned 16
+
+    def test_growth_clamped_to_ceiling(self):
+        scaler = PoolAutoscaler(CFG)
+        v = view(capacity=30, in_use=30, queue_length=3, queued_executors=24,
+                 oldest_submit_time=0.0)
+        assert scaler.evaluate(10.0, v) == 2  # max_capacity 32
+
+    def test_pending_capacity_counts_against_demand(self):
+        """During the provisioning lag the scaler must not re-request the
+        same executors every tick."""
+        scaler = PoolAutoscaler(CFG)
+        v = view(capacity=16, in_use=16, queue_length=1, queued_executors=8,
+                 oldest_submit_time=0.0)
+        assert scaler.evaluate(10.0, v) == 8
+        # Same pressure one tick later: demand 24 is already covered by
+        # capacity 16 + pending 8.
+        assert scaler.evaluate(11.0, v) == 0
+        scaler.capacity_online(20.0, 8)
+        assert scaler.pending == 0
+
+
+class TestScaleDown:
+    def test_idle_pool_sheds_capacity(self):
+        scaler = PoolAutoscaler(CFG)
+        assert scaler.evaluate(100.0, view(capacity=16, in_use=2)) == -4
+
+    def test_never_below_floor(self):
+        scaler = PoolAutoscaler(CFG)
+        assert scaler.evaluate(100.0, view(capacity=6, in_use=0)) == -2
+        scaler2 = PoolAutoscaler(CFG)
+        assert scaler2.evaluate(100.0, view(capacity=4, in_use=0)) == 0
+
+    def test_only_free_capacity_is_decommissioned(self):
+        """Scale-down racing outstanding grants: the decision itself is
+        bounded by free capacity, so in-flight grants are untouched."""
+        scaler = PoolAutoscaler(CFG)
+        # 14 of 16 reserved -> util 87% is not low; use a low-util view
+        # where free space is still tiny: capacity 16, in_use 13 is 81%.
+        # Build the corner directly: low utilization but free < step.
+        cfg = AutoscalerConfig(
+            min_capacity=1, max_capacity=32, scale_down_step=8,
+            scale_down_cooldown_s=0.0, low_utilization=0.7,
+            high_utilization=0.9,
+        )
+        scaler = PoolAutoscaler(cfg)
+        delta = scaler.evaluate(100.0, view(capacity=16, in_use=10))
+        assert delta == -6  # free capacity, not the full 8-step
+
+    def test_queue_blocks_scale_down(self):
+        scaler = PoolAutoscaler(CFG)
+        v = view(capacity=16, in_use=2, queue_length=1, queued_executors=24,
+                 oldest_submit_time=99.0)
+        assert scaler.evaluate(100.0, v) <= 0  # may scale up, never down
+        assert scaler.scale_downs == 0
+
+    def test_pending_scale_up_blocks_scale_down(self):
+        scaler = PoolAutoscaler(CFG)
+        scaler.pending = 8
+        assert scaler.evaluate(100.0, view(capacity=16, in_use=0)) == 0
+
+
+class TestCooldown:
+    def test_cooldown_prevents_oscillation(self):
+        """After any scaling action, shrinks wait out the cooldown — a
+        bursty stream cannot make the pool thrash."""
+        scaler = PoolAutoscaler(CFG)
+        busy = view(capacity=16, in_use=16, queue_length=1,
+                    queued_executors=8, oldest_submit_time=0.0)
+        idle = view(capacity=24, in_use=0)
+        assert scaler.evaluate(10.0, busy) == 8
+        scaler.capacity_online(20.0, 8)
+        # Idle immediately after the scale-up: held by the cooldown.
+        assert scaler.evaluate(21.0, idle) == 0
+        assert scaler.evaluate(40.0, idle) == 0
+        # Cooldown (30 s after the action at t=20) has elapsed.
+        assert scaler.evaluate(51.0, idle) == -4
+
+    def test_scale_downs_are_also_spaced_by_cooldown(self):
+        scaler = PoolAutoscaler(CFG)
+        idle = view(capacity=32, in_use=0)
+        assert scaler.evaluate(100.0, idle) == -4
+        assert scaler.evaluate(101.0, view(capacity=28, in_use=0)) == 0
+        assert scaler.evaluate(131.0, view(capacity=28, in_use=0)) == -4
+
+    def test_first_decision_needs_no_cooldown(self):
+        scaler = PoolAutoscaler(CFG)
+        assert scaler.evaluate(0.0, view(capacity=16, in_use=0)) == -4

@@ -1,0 +1,140 @@
+"""Router unit tests: determinism, tie-breaking, load sensitivity."""
+
+import pytest
+
+from repro.fleet.routing import (
+    DEFAULT_RUNTIME_ESTIMATE_S,
+    CostAwareRouter,
+    LeastQueuedRouter,
+    PoolView,
+    RoundRobinRouter,
+    RoutingRequest,
+)
+
+
+def view(
+    index,
+    capacity=16,
+    free=None,
+    queue_length=0,
+    queued_executors=0,
+    queued_work_seconds=0.0,
+    active_queries=0,
+    oldest_submit_time=None,
+    max_capacity=None,
+):
+    free = capacity if free is None else free
+    return PoolView(
+        index=index,
+        capacity=capacity,
+        max_capacity=capacity if max_capacity is None else max_capacity,
+        free=free,
+        in_use=capacity - free,
+        queue_length=queue_length,
+        queued_executors=queued_executors,
+        queued_work_seconds=queued_work_seconds,
+        active_queries=active_queries,
+        oldest_submit_time=oldest_submit_time,
+    )
+
+
+def request(budget=8, estimate=None):
+    return RoutingRequest(
+        query_id="q1",
+        app_id=0,
+        budget=budget,
+        estimated_runtime_seconds=estimate,
+        submit_time=0.0,
+    )
+
+
+class TestRoundRobin:
+    def test_cycles_regardless_of_load(self):
+        router = RoundRobinRouter()
+        pools = [view(0, free=0, queue_length=9), view(1), view(2)]
+        picks = [router.pick(request(), pools) for _ in range(7)]
+        assert picks == [0, 1, 2, 0, 1, 2, 0]
+
+
+class TestLeastQueued:
+    def test_prefers_shortest_queue(self):
+        pools = [
+            view(0, queue_length=3),
+            view(1, queue_length=1),
+            view(2, queue_length=2),
+        ]
+        assert LeastQueuedRouter().pick(request(), pools) == 1
+
+    def test_queue_length_ties_break_on_free_capacity(self):
+        pools = [view(0, free=2), view(1, free=10), view(2, free=5)]
+        assert LeastQueuedRouter().pick(request(), pools) == 1
+
+    def test_fully_tied_pools_pick_lowest_index(self):
+        pools = [view(0), view(1), view(2)]
+        assert LeastQueuedRouter().pick(request(), pools) == 0
+
+    def test_pool_too_small_for_the_budget_ranks_last(self):
+        """Heterogeneous cluster: a budget must not be silently
+        truncated onto a small pool while a big one is available."""
+        pools = [view(0, capacity=8), view(1, capacity=32, queue_length=1)]
+        assert LeastQueuedRouter().pick(request(budget=16), pools) == 1
+        # all pools undersized: degrade gracefully to the usual key
+        small = [view(0, capacity=8, queue_length=2), view(1, capacity=8)]
+        assert LeastQueuedRouter().pick(request(budget=16), small) == 1
+
+
+class TestCostAware:
+    def test_prefers_pool_that_admits_immediately(self):
+        pools = [
+            view(0, free=4, queued_work_seconds=100.0, queue_length=2),
+            view(1, free=12),
+        ]
+        assert CostAwareRouter().pick(request(budget=8), pools) == 1
+
+    def test_best_fit_among_immediately_available_pools(self):
+        # Both admit now; the tighter fit keeps pool 1's headroom whole.
+        pools = [view(0, free=16), view(1, free=9)]
+        assert CostAwareRouter().pick(request(budget=8), pools) == 1
+
+    def test_least_predicted_backlog_when_all_saturated(self):
+        pools = [
+            view(0, free=0, queue_length=2, queued_work_seconds=900.0),
+            view(1, free=0, queue_length=3, queued_work_seconds=300.0),
+        ]
+        assert CostAwareRouter().pick(request(budget=8, estimate=30.0), pools) == 1
+
+    def test_backlog_normalized_by_capacity(self):
+        # Same queued work, but pool 1 drains it four times faster.
+        pools = [
+            view(0, capacity=8, free=0, queue_length=1, queued_work_seconds=400.0),
+            view(1, capacity=32, free=0, queue_length=1, queued_work_seconds=400.0),
+        ]
+        assert CostAwareRouter().pick(request(budget=8, estimate=10.0), pools) == 1
+
+    def test_missing_estimate_falls_back_to_default(self):
+        assert request(estimate=None).runtime_estimate == DEFAULT_RUNTIME_ESTIMATE_S
+        assert request(estimate=12.5).runtime_estimate == 12.5
+
+    def test_deterministic_across_calls(self):
+        pools = [view(0, free=0, queue_length=1), view(1, free=0, queue_length=1)]
+        router = CostAwareRouter()
+        picks = {router.pick(request(), pools) for _ in range(5)}
+        assert picks == {0}
+
+    def test_pool_too_small_for_the_budget_ranks_last(self):
+        # The big pool is backlogged, the small one idle — but the small
+        # one could only ever grant half the budget, so the big one wins.
+        pools = [
+            view(0, capacity=8),
+            view(1, capacity=32, free=0, queue_length=1, queued_work_seconds=50.0),
+        ]
+        assert CostAwareRouter().pick(request(budget=16), pools) == 1
+
+
+class TestEmptyCluster:
+    @pytest.mark.parametrize(
+        "router", [RoundRobinRouter(), LeastQueuedRouter(), CostAwareRouter()]
+    )
+    def test_no_pools_is_an_error_not_a_silent_drop(self, router):
+        with pytest.raises((ValueError, ZeroDivisionError)):
+            router.pick(request(), [])

@@ -122,6 +122,12 @@ def test_unknown_schema_rejected(tmp_path):
     assert "unexpected schema" in proc.stderr
 
 
+def test_schema_mismatch_between_files_rejected(tmp_path):
+    proc = run_gate(tmp_path, bench_json(10.0), fleet_json())
+    assert proc.returncode == 1
+    assert "schema mismatch" in proc.stderr
+
+
 def test_custom_tolerance_flag(tmp_path):
     proc = run_gate(
         tmp_path,
@@ -133,6 +139,91 @@ def test_custom_tolerance_flag(tmp_path):
     assert proc.returncode == 0, proc.stderr
 
 
+def fleet_json(
+    ratio=1.1,
+    parity=True,
+    p95_win=True,
+    cost_win=True,
+    capacity_respected=True,
+):
+    scenario = {
+        "rate_qps": 2.0,
+        "static_single_pool": {"p95_latency_s": 100.0, "capacity_respected": True},
+        "sharded_autoscaled": {
+            "p95_latency_s": 50.0,
+            "capacity_respected": capacity_respected,
+        },
+    }
+    return {
+        "schema": "repro-bench-fleet/v1",
+        "machine": {"python": "3.11", "numpy": "2.0", "platform": "test"},
+        "params": {
+            "scale_factor": 100,
+            "queries": ["q1"],
+            "arrivals": 96,
+            "rates": [0.5, 2.0],
+            "static_capacity": 96,
+            "pools": 4,
+            "pool_min": 8,
+            "pool_max": 48,
+            "seed": 0,
+        },
+        "parity": {"checked_plans": 17, "bit_identical": parity},
+        "overhead": {
+            "fleet_seconds": 1.0,
+            "sharded_seconds": ratio,
+            "ratio": ratio,
+        },
+        "scenarios": [scenario],
+        "wins": {"p95_at_peak": p95_win, "cost_at_peak": cost_win},
+    }
+
+
+class TestFleetGate:
+    def test_equal_run_passes(self, tmp_path):
+        proc = run_gate(tmp_path, fleet_json(), fleet_json())
+        assert proc.returncode == 0, proc.stderr
+        assert "no benchmark regression" in proc.stdout
+
+    def test_lost_sharded_parity_fails(self, tmp_path):
+        proc = run_gate(tmp_path, fleet_json(), fleet_json(parity=False))
+        assert proc.returncode == 1
+        assert "cluster layer parity lost" in proc.stderr
+
+    def test_lost_p95_win_fails(self, tmp_path):
+        proc = run_gate(tmp_path, fleet_json(), fleet_json(p95_win=False))
+        assert proc.returncode == 1
+        assert "p95 latency" in proc.stderr
+
+    def test_lost_cost_win_fails(self, tmp_path):
+        proc = run_gate(tmp_path, fleet_json(), fleet_json(cost_win=False))
+        assert proc.returncode == 1
+        assert "provisioned $ cost" in proc.stderr
+
+    def test_overhead_within_tolerance_passes(self, tmp_path):
+        proc = run_gate(tmp_path, fleet_json(ratio=1.0), fleet_json(ratio=1.15))
+        assert proc.returncode == 0, proc.stderr
+
+    def test_overhead_regression_fails(self, tmp_path):
+        proc = run_gate(tmp_path, fleet_json(ratio=1.0), fleet_json(ratio=1.3))
+        assert proc.returncode == 1
+        assert "overhead regressed" in proc.stderr
+
+    def test_params_drift_fails(self, tmp_path):
+        drifted = fleet_json()
+        drifted["params"]["pools"] = 8
+        proc = run_gate(tmp_path, fleet_json(), drifted)
+        assert proc.returncode == 1
+        assert "params drifted" in proc.stderr
+
+    def test_capacity_invariant_violation_fails(self, tmp_path):
+        proc = run_gate(
+            tmp_path, fleet_json(), fleet_json(capacity_respected=False)
+        )
+        assert proc.returncode == 1
+        assert "capacity invariant violated" in proc.stderr
+
+
 @pytest.mark.parametrize("file", ["baseline.json"])
 def test_checked_in_baseline_is_valid(file):
     data = json.loads(
@@ -142,3 +233,27 @@ def test_checked_in_baseline_is_valid(file):
     assert data["speedup"] >= 5.0
     assert data["equivalence"]["bit_identical"] is True
     assert data["parity"]["bit_identical"] is True
+
+
+def test_checked_in_fleet_baseline_is_valid():
+    data = json.loads(
+        (REPO_ROOT / "benchmarks" / "perf" / "baseline_fleet.json").read_text(
+            encoding="utf-8"
+        )
+    )
+    assert data["schema"] == "repro-bench-fleet/v1"
+    assert data["parity"]["bit_identical"] is True
+    assert data["wins"]["p95_at_peak"] is True
+    assert data["wins"]["cost_at_peak"] is True
+    assert data["overhead"]["ratio"] < 2.0
+    # the recorded peak-rate scenario backs the wins block
+    peak = data["scenarios"][-1]
+    assert (
+        peak["sharded_autoscaled"]["p95_latency_s"]
+        < peak["static_single_pool"]["p95_latency_s"]
+    )
+    assert (
+        peak["sharded_autoscaled"]["provisioned_dollar_cost"]
+        < peak["static_single_pool"]["provisioned_dollar_cost"]
+    )
+    assert peak["sharded_autoscaled"]["capacity_respected"] is True
