@@ -17,13 +17,18 @@ candidate must carry the same one):
 - **parity** — the run's fleet-of-one vs ``simulate_query`` bit-identity
   check (the shared execution core's contract) must hold.
 
-``repro-bench-fleet/v1`` (from ``run_fleet_bench.py``):
+``repro-bench-fleet/v2`` (from ``run_fleet_bench.py``):
 
 - **parity** — the run's sharded-of-one vs ``FleetEngine.serve``
   bit-identity check (the cluster layer's contract) must hold;
+- **zero-fault parity** — serving under an inert ``FaultPlan`` (every
+  rate zero) must reproduce the unperturbed engine bit-for-bit (the
+  fault layer's contract);
 - **wins** — at the highest arrival rate, cost-aware routing +
   autoscaling must beat static single-pool provisioning on p95 latency
-  and on provisioned dollar cost;
+  and on provisioned dollar cost; and at the market's base reclamation
+  rate, spot capacity + task retries must beat all-on-demand on total
+  dollar cost while holding p95 within the matched-latency tolerance;
 - **overhead** — the sharded/fleet wall-clock ratio (hardware-normalized
   the same way the sweep speedup is) must not grow more than
   ``--max-regression`` above the baseline's.
@@ -47,7 +52,7 @@ import sys
 from pathlib import Path
 
 SWEEP_SCHEMA = "repro-bench-sweep/v2"
-FLEET_SCHEMA = "repro-bench-fleet/v1"
+FLEET_SCHEMA = "repro-bench-fleet/v2"
 SCHEMAS = (SWEEP_SCHEMA, FLEET_SCHEMA)
 
 
@@ -133,13 +138,15 @@ def compare_fleet(baseline: dict, candidate: dict, args) -> list[str]:
     cand_ratio = float(candidate["overhead"]["ratio"])
     threshold = base_ratio * (1.0 + args.max_regression)
     parity = bool(candidate["parity"]["bit_identical"])
+    zero_fault = bool(candidate["parity"].get("zero_fault_bit_identical"))
     wins = candidate["wins"]
 
     print(f"baseline  overhead ratio: {base_ratio:5.2f}x  ({args.baseline})")
     print(f"candidate overhead ratio: {cand_ratio:5.2f}x  ({args.candidate})")
     gate_line = (
         f"gate: <= {threshold:.2f}x (baseline + {args.max_regression:.0%}), "
-        f"sharded-of-one parity, p95 + cost wins at peak rate"
+        f"sharded-of-one parity, zero-fault parity, p95 + cost wins at "
+        f"peak rate, spot cost win at matched p95"
     )
     print(gate_line)
 
@@ -148,6 +155,11 @@ def compare_fleet(baseline: dict, candidate: dict, args) -> list[str]:
         failures.append(
             "sharded-of-one no longer matches FleetEngine.serve bit-for-bit "
             "(cluster layer parity lost)"
+        )
+    if not zero_fault:
+        failures.append(
+            "an inert FaultPlan no longer serves bit-identically to the "
+            "unperturbed engine (zero-fault parity lost)"
         )
     if not bool(wins.get("p95_at_peak")):
         failures.append(
@@ -158,6 +170,11 @@ def compare_fleet(baseline: dict, candidate: dict, args) -> list[str]:
         failures.append(
             "cost-aware routing + autoscaling no longer beats static "
             "single-pool provisioning on provisioned $ cost at the peak rate"
+        )
+    if not bool(wins.get("spot_at_matched_p95")):
+        failures.append(
+            "spot capacity + retries no longer beats on-demand on total $ "
+            "cost at matched p95 (base reclamation rate)"
         )
     if cand_ratio > threshold:
         detail = (
@@ -174,6 +191,13 @@ def compare_fleet(baseline: dict, candidate: dict, args) -> list[str]:
                     f"{scenario['rate_qps']} qps exceeded its provisioned "
                     "pool"
                 )
+    for entry in candidate.get("faults", {}).get("sweep", []):
+        if not bool(entry["spot"].get("capacity_respected", True)):
+            failures.append(
+                "capacity invariant violated: spot pool at reclaim rate "
+                f"{entry['reclaim_rate_per_s']} exceeded its provisioned "
+                "pool"
+            )
     return failures
 
 

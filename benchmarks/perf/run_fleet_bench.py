@@ -18,10 +18,19 @@ Measures, on the real TPC-DS workload:
    online ``PredictionService``.  At the highest arrival rate the
    sharded fleet must win on p95 latency *and* on provisioned dollar
    cost (every provisioned executor-second billed, idle autoscaled
-   capacity included) — recorded as the ``wins`` block CI gates on.
+   capacity included) — recorded as the ``wins`` block CI gates on;
+4. **faults** — the fault layer's two contracts.  *Zero-fault parity*:
+   serving the contended stream under an inert ``FaultPlan`` (every
+   rate zero) must reproduce the unperturbed engine bit-for-bit.
+   *Spot economics*: a reclamation-rate sweep serves one stream on an
+   all-on-demand pool and on all-spot pools of increasing churn — at
+   the market's base reclamation rate, spot capacity + task retries
+   must beat on-demand on total dollar cost while holding p95 within
+   the matched-latency tolerance (the sweep's tail shows where wasted
+   work and replacement ramps eat the discount).
 
 The result is written as ``BENCH_fleet.json`` (schema
-``repro-bench-fleet/v1``, documented in ``benchmarks/perf/README.md``);
+``repro-bench-fleet/v2``, documented in ``benchmarks/perf/README.md``);
 CI uploads it as an artifact and gates regressions against the
 checked-in ``baseline_fleet.json`` via ``compare.py``.
 
@@ -47,15 +56,16 @@ import numpy as np  # noqa: E402
 
 from repro.core.autoexecutor import AutoExecutor  # noqa: E402
 from repro.engine.cluster import Cluster  # noqa: E402
+from repro.engine.faults import FaultPlan, SpotMarket  # noqa: E402
 from repro.fleet.arrivals import QueryArrival, poisson_arrivals  # noqa: E402
 from repro.fleet.autoscaler import AutoscalerConfig  # noqa: E402
 from repro.fleet.cluster import PoolSpec, ShardedFleet  # noqa: E402
-from repro.fleet.engine import FleetEngine, static_allocator  # noqa: E402
+from repro.fleet.engine import FleetConfig, FleetEngine, static_allocator  # noqa: E402
 from repro.fleet.prediction import PredictionService  # noqa: E402
 from repro.fleet.routing import CostAwareRouter  # noqa: E402
 from repro.workloads.generator import Workload  # noqa: E402
 
-SCHEMA = "repro-bench-fleet/v1"
+SCHEMA = "repro-bench-fleet/v2"
 
 # Same size-diverse TPC-DS slice as the sweep bench.
 DEFAULT_QUERY_IDS = tuple(
@@ -97,6 +107,88 @@ def check_sharded_parity(workload, cluster, parity_stream):
         and pool.summary() == fleet.summary()
     )
     return checked, same
+
+
+def check_zero_fault_parity(workload, stream, capacity):
+    """An inert ``FaultPlan`` must serve the stream bit-for-bit."""
+    reference = FleetEngine(
+        workload, capacity=capacity, allocator=static_allocator(8)
+    ).serve(stream)
+    inert = FleetEngine(
+        workload,
+        capacity=capacity,
+        allocator=static_allocator(8),
+        config=FleetConfig(faults=FaultPlan(seed=0)),
+    ).serve(stream)
+    return (
+        inert.records == reference.records
+        and inert.pool_skyline.points == reference.pool_skyline.points
+        and inert.summary() == reference.summary()
+    )
+
+
+def run_fault_sweep(workload, system, args):
+    """Spot-vs-on-demand: sweep the reclamation rate on one stream."""
+    arrivals = poisson_arrivals(
+        list(workload), args.arrivals, args.fault_rate_qps, seed=args.seed
+    )
+
+    def serve(faults):
+        # Fresh prediction services so every serve pays the same cache
+        # warm-up on the same stream.
+        service = PredictionService.from_autoexecutor(system)
+        config = FleetConfig() if faults is None else FleetConfig(faults=faults)
+        metrics = FleetEngine(
+            workload,
+            capacity=args.static_capacity,
+            allocator=service.allocate,
+            config=config,
+        ).serve(arrivals)
+        stats = metrics.fault_stats
+        entry = summarize(metrics)
+        entry.update(
+            {
+                "executor_failures": int(stats.failures),
+                "task_retries": int(stats.task_retries),
+                "wasted_work_seconds": round(float(stats.wasted_task_seconds), 1),
+                "spot_executor_seconds": round(float(stats.spot_executor_seconds), 1),
+            }
+        )
+        return entry
+
+    ondemand = serve(None)
+    sweep = []
+    for reclaim_rate in args.spot_reclaim_rates:
+        spot = serve(
+            FaultPlan(
+                seed=args.seed,
+                spot=SpotMarket(
+                    fraction=1.0,
+                    discount=args.spot_discount,
+                    reclaim_rate=reclaim_rate,
+                ),
+            )
+        )
+        matched_p95 = spot["p95_latency_s"] <= (
+            ondemand["p95_latency_s"] * args.spot_p95_tolerance
+        )
+        sweep.append(
+            {
+                "reclaim_rate_per_s": reclaim_rate,
+                "spot": spot,
+                "cost_win": bool(
+                    spot["total_dollar_cost"] < ondemand["total_dollar_cost"]
+                ),
+                "matched_p95": bool(matched_p95),
+            }
+        )
+    return {
+        "rate_qps": args.fault_rate_qps,
+        "spot_discount": args.spot_discount,
+        "p95_tolerance": args.spot_p95_tolerance,
+        "on_demand": ondemand,
+        "sweep": sweep,
+    }
 
 
 def measure_overhead(workload, stream, capacity, repeats):
@@ -186,6 +278,11 @@ def run(args):
         workload, cluster, parity_stream
     )
 
+    print("checking zero-fault parity ...")
+    zero_fault_identical = check_zero_fault_parity(
+        workload, parity_stream, args.static_capacity
+    )
+
     print("measuring cluster-layer overhead ...")
     overhead_stream = poisson_arrivals(
         list(workload), args.arrivals, 1.0, seed=args.seed
@@ -199,7 +296,13 @@ def run(args):
     system = AutoExecutor(family="power_law").train(workload, cluster)
     print("running rate-sweep scenarios ...")
     scenarios = run_scenarios(workload, system, args)
+    print("running spot-vs-on-demand fault sweep ...")
+    faults = run_fault_sweep(workload, system, args)
 
+    # The gated spot entry is the market's base (lowest) reclamation
+    # rate; the rest of the sweep documents where churn eats the
+    # discount.
+    base_spot = faults["sweep"][0]
     peak = scenarios[-1]
     wins = {
         "p95_at_peak": bool(
@@ -209,6 +312,9 @@ def run(args):
         "cost_at_peak": bool(
             peak["sharded_autoscaled"]["provisioned_dollar_cost"]
             < peak["static_single_pool"]["provisioned_dollar_cost"]
+        ),
+        "spot_at_matched_p95": bool(
+            base_spot["cost_win"] and base_spot["matched_p95"]
         ),
     }
 
@@ -230,10 +336,15 @@ def run(args):
             "pool_max": args.pool_max,
             "seed": args.seed,
             "repeats": args.repeats,
+            "fault_rate_qps": args.fault_rate_qps,
+            "spot_reclaim_rates": list(args.spot_reclaim_rates),
+            "spot_discount": args.spot_discount,
+            "spot_p95_tolerance": args.spot_p95_tolerance,
         },
         "parity": {
             "checked_plans": parity_checked,
             "bit_identical": bool(parity_identical),
+            "zero_fault_bit_identical": bool(zero_fault_identical),
         },
         "overhead": {
             "fleet_seconds": round(fleet_seconds, 4),
@@ -241,6 +352,7 @@ def run(args):
             "ratio": round(ratio, 3),
         },
         "scenarios": scenarios,
+        "faults": faults,
         "wins": wins,
     }
 
@@ -249,6 +361,7 @@ def run(args):
     out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
 
     print(f"parity: {parity_checked} checks, bit_identical={parity_identical}")
+    print(f"zero-fault parity: bit_identical={zero_fault_identical}")
     print(
         f"overhead: fleet {fleet_seconds:.3f}s vs sharded {sharded_seconds:.3f}s "
         f"(ratio {ratio:.2f}x)"
@@ -262,16 +375,39 @@ def run(args):
             f"provisioned ${static['provisioned_dollar_cost']:7.2f} -> "
             f"${sharded['provisioned_dollar_cost']:7.2f}"
         )
-    print(f"wins at peak rate: p95={wins['p95_at_peak']} cost={wins['cost_at_peak']}")
+    ondemand = faults["on_demand"]
+    print(
+        f"on-demand: p95 {ondemand['p95_latency_s']:8.1f}s, "
+        f"${ondemand['total_dollar_cost']:7.2f}"
+    )
+    for entry in faults["sweep"]:
+        spot = entry["spot"]
+        print(
+            f"spot reclaim 1/{1.0 / entry['reclaim_rate_per_s']:.0f}s: "
+            f"p95 {spot['p95_latency_s']:8.1f}s, "
+            f"${spot['total_dollar_cost']:7.2f}, "
+            f"{spot['task_retries']} retries, "
+            f"cost_win={entry['cost_win']} matched_p95={entry['matched_p95']}"
+        )
+    print(
+        f"wins: p95={wins['p95_at_peak']} cost={wins['cost_at_peak']} "
+        f"spot={wins['spot_at_matched_p95']}"
+    )
     print(f"wrote {out}")
     invariants_ok = all(
         scenario[side]["capacity_respected"]
         for scenario in scenarios
         for side in ("static_single_pool", "sharded_autoscaled")
-    )
+    ) and all(entry["spot"]["capacity_respected"] for entry in faults["sweep"])
     if not invariants_ok:
         print("capacity invariant VIOLATED in a scenario", file=sys.stderr)
-    return 0 if parity_identical and all(wins.values()) and invariants_ok else 1
+    ok = (
+        parity_identical
+        and zero_fault_identical
+        and all(wins.values())
+        and invariants_ok
+    )
+    return 0 if ok else 1
 
 
 def main(argv=None):
@@ -317,6 +453,38 @@ def main(argv=None):
         type=int,
         default=3,
         help="overhead timing repeats; the fastest pass is reported",
+    )
+    parser.add_argument(
+        "--fault-rate-qps",
+        type=float,
+        default=0.3,
+        help="arrival rate of the spot-vs-on-demand stream (below the "
+        "pool's saturation point so retries show up in p95, not in a "
+        "backlog drain)",
+    )
+    parser.add_argument(
+        "--spot-reclaim-rates",
+        type=float,
+        nargs="+",
+        default=[1.0 / 1200.0, 1.0 / 300.0, 1.0 / 60.0],
+        help="reclamation hazards (per spot executor-second) to sweep, "
+        "ascending; the first is the gated market rate, the tail shows "
+        "where churn breaks the matched-p95 bar.  Expected attempts per "
+        "task grow like e^(hazard x duration), so hazards near the "
+        "longest task durations make the run astronomically long",
+    )
+    parser.add_argument(
+        "--spot-discount",
+        type=float,
+        default=0.35,
+        help="spot price as a fraction of the on-demand price",
+    )
+    parser.add_argument(
+        "--spot-p95-tolerance",
+        type=float,
+        default=1.05,
+        help="matched-latency bar: spot p95 must stay within this factor "
+        "of the on-demand p95 for the cost win to count",
     )
     return run(parser.parse_args(argv))
 

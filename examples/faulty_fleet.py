@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Fault-tolerant serving: on-demand vs spot-with-retries on one stream.
+
+Real serverless pools lose executors, run stragglers, and sell
+preemptible ("spot") capacity at a steep discount precisely because they
+may take it back mid-run.  This example serves the *same* arrival stream
+three ways through :class:`repro.fleet.FleetEngine` and compares the
+bills:
+
+1. an all-on-demand pool — the unperturbed baseline;
+2. an all-spot pool at a gentle reclamation rate — every reclaimed
+   executor kills its in-flight tasks (they re-execute from scratch) and
+   is replaced through the provisioning ramp, yet the discount wins;
+3. the same spot market under heavy churn — wasted work and replacement
+   ramps eat the discount and blow up tail latency.
+
+Every fault is drawn deterministically from the ``FaultPlan`` seed, so
+each configuration is exactly reproducible.
+
+Run:  python examples/faulty_fleet.py
+"""
+
+from __future__ import annotations
+
+from repro import AutoExecutor, Workload
+from repro.engine.cluster import Cluster
+from repro.fleet import (
+    FaultPlan,
+    FleetConfig,
+    FleetEngine,
+    PredictionService,
+    SpotMarket,
+    poisson_arrivals,
+)
+
+QUERY_IDS = tuple(
+    f"q{i}" for i in (1, 2, 3, 5, 9, 14, 17, 21, 25, 46, 64, 72, 82, 88, 94, 99)
+)
+POOL = 96
+
+
+def serve(workload, system, arrivals, faults: FaultPlan | None):
+    # A fresh prediction service per serve: every configuration pays the
+    # same cache warm-up on the same stream.
+    service = PredictionService.from_autoexecutor(system)
+    config = FleetConfig() if faults is None else FleetConfig(faults=faults)
+    return FleetEngine(
+        workload, capacity=POOL, allocator=service.allocate, config=config
+    ).serve(arrivals)
+
+
+def main() -> None:
+    workload = Workload(scale_factor=100, query_ids=QUERY_IDS)
+    print(f"training AutoExecutor on {len(workload)} queries ...")
+    system = AutoExecutor(family="power_law").train(workload, Cluster())
+    arrivals = poisson_arrivals(QUERY_IDS, n_queries=96, rate_qps=0.3, seed=7)
+    print(
+        f"serving {len(arrivals)} arrivals over "
+        f"~{arrivals[-1].arrival_time:.0f} s on a {POOL}-executor pool\n"
+    )
+
+    # --- 1. all on-demand: the unperturbed baseline -----------------------
+    ondemand = serve(workload, system, arrivals, None)
+    print("=== all on-demand ===")
+    print(ondemand.describe())
+
+    # --- 2. all spot, gentle churn: the discount wins ----------------------
+    gentle = FaultPlan(
+        seed=7,
+        spot=SpotMarket(fraction=1.0, discount=0.35, reclaim_rate=1 / 1200),
+    )
+    spot = serve(workload, system, arrivals, gentle)
+    print("\n=== all spot, one reclamation per ~20 spot-executor-minutes ===")
+    print(spot.describe())
+
+    saved = 1 - spot.total_dollar_cost / ondemand.total_dollar_cost
+    print(
+        f"\nspot serves the stream at {saved:.0%} lower cost "
+        f"(p95 {spot.p95_latency:.0f} s vs {ondemand.p95_latency:.0f} s) "
+        f"despite {spot.fault_stats.reclamations} reclamations and "
+        f"{spot.task_retries} re-executed tasks."
+    )
+
+    # --- 3. all spot, heavy churn: wasted work eats the discount -----------
+    churny = FaultPlan(
+        seed=7,
+        spot=SpotMarket(fraction=1.0, discount=0.35, reclaim_rate=1 / 60),
+    )
+    thrash = serve(workload, system, arrivals, churny)
+    print("\n=== all spot, one reclamation per spot-executor-minute ===")
+    print(thrash.describe())
+    print(
+        f"\nat this churn the same discount buys a "
+        f"{thrash.p95_latency / ondemand.p95_latency:.1f}x worse p95 and "
+        f"{thrash.wasted_work_seconds:.0f} task-seconds of destroyed work "
+        f"— the reclamation rate, not the price, decides whether spot "
+        f"capacity is a bargain."
+    )
+
+
+if __name__ == "__main__":
+    main()

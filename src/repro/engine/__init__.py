@@ -19,6 +19,10 @@ Spark pools).  It provides:
   copy of the simulator physics (wave assignment, spill × coordination,
   idle release, skylines) both the dedicated-cluster scheduler and the
   fleet engine drive, plus the compiled-plan representation.
+- :mod:`~repro.engine.faults` — deterministic, seed-driven fault
+  injection composed over the execution core: executor crashes with task
+  re-execution, straggler slowdowns, and preemptible spot capacity with
+  a discounted cost model and reclamation events.
 - :mod:`~repro.engine.scheduler` — the discrete-event task scheduler that
   produces query run times, executor skylines, and telemetry.
 - :mod:`~repro.engine.sweep` — the batched simulation backend: compile a
@@ -39,6 +43,7 @@ from repro.engine.allocation import (
 )
 from repro.engine.cluster import Cluster, ExecutorSpec, NodeSpec
 from repro.engine.execution import ExecutionCore
+from repro.engine.faults import FaultInjector, FaultPlan, FaultStats, SpotMarket
 from repro.engine.metrics import QueryTelemetry
 from repro.engine.optimizer import Optimizer, OptimizerContext, OptimizerRule
 from repro.engine.plan import InputSource, LogicalPlan, OperatorKind, PlanNode
@@ -67,6 +72,10 @@ __all__ = [
     "PredictiveAllocation",
     "BudgetAllocation",
     "ExecutionCore",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "SpotMarket",
     "simulate_query",
     "simulate_query_sweep",
     "CompiledPlan",

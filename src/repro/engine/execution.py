@@ -51,6 +51,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.engine.cluster import Cluster
+from repro.engine.faults import FaultInjector, FaultStats
 from repro.engine.skyline import Skyline
 from repro.engine.stages import StageGraph
 from repro.sparklens.log import ExecutionLog, StageLog
@@ -103,6 +104,10 @@ class SimulationResult:
         fully_allocated: whether the policy's final target was entirely
             provisioned before the query finished (Figure 13 marks these
             queries with a diamond).
+        fault_stats: the fault ledger (crashes, retries, wasted work,
+            spot/on-demand split) when the run was perturbed by an
+            active :class:`~repro.engine.faults.FaultPlan`; ``None`` for
+            unperturbed runs.
     """
 
     runtime: float
@@ -112,6 +117,7 @@ class SimulationResult:
     total_tasks: int
     execution_log: ExecutionLog | None = None
     fully_allocated: bool = True
+    fault_stats: FaultStats | None = None
 
 
 def spill_factor(
@@ -277,6 +283,12 @@ class ExecutionCore:
         start_time: clock instant the query's skyline opens at (query
             submission on the dedicated path, admission on the fleet
             path).
+        faults: this query's fault injector, or ``None`` (the default)
+            for unperturbed physics.  With an injector the core
+            additionally tracks in-flight tasks per executor so
+            :meth:`fail_executor` can kill and requeue exactly the work
+            that was running; without one no extra state is kept and
+            every code path is bit-identical to the pre-fault engine.
     """
 
     def __init__(
@@ -286,12 +298,18 @@ class ExecutionCore:
         config: SchedulerConfig = DEFAULT_SCHEDULER_CONFIG,
         record_log: bool = False,
         start_time: float = 0.0,
+        faults: FaultInjector | None = None,
     ) -> None:
         self.plan = plan
         self.graph = plan.graph
         self.cluster = cluster
         self.config = config
         self.record_log = record_log
+        self.faults = faults
+        # In-flight task registry, kept only under fault injection:
+        # eid -> [(finish time, stage_id, task_idx, start time), ...].
+        self._inflight: dict[int, list[tuple[float, int, int, float]]] = {}
+        self._failed: set[int] = set()
         self.executors: dict[int, _Executor] = {}
         self._exec_ids = itertools.count()
         self._pending: list[tuple[int, int]] = []  # (stage, task), FIFO
@@ -352,6 +370,34 @@ class ExecutionCore:
             removed.append(eid)
         return removed
 
+    def fail_executor(self, now: float, eid: int) -> tuple[int, float] | None:
+        """An executor crashed or was reclaimed: kill its work, requeue.
+
+        The executor is removed at ``now``; every task in flight on it
+        loses all progress and re-enters the pending queue (in its
+        original assignment order, behind whatever is already queued) to
+        be re-executed from scratch.  Completions the dead executor had
+        already scheduled on the driver's heap become stale and are
+        dropped by :meth:`complete_task`.
+
+        Returns ``(killed tasks, wasted task-seconds of progress)`` for
+        the injector's ledger, or ``None`` when the executor is already
+        gone (idle-released or the query finished) and the failure is a
+        no-op.
+        """
+        executor = self.executors.pop(eid, None)
+        if executor is None:
+            return None
+        self._failed.add(eid)
+        self.skyline.record(now, len(self.executors))
+        killed = self._inflight.pop(eid, [])
+        wasted = 0.0
+        for _, stage_id, task_idx, start in killed:
+            self.running -= 1
+            self._pending.append((stage_id, task_idx))
+            wasted += now - start
+        return len(killed), wasted
+
     # --- stages ----------------------------------------------------------
     def pending_count(self) -> int:
         return len(self._pending) - self._pending_head
@@ -392,6 +438,16 @@ class ExecutionCore:
                 executor.free_cores -= 1
                 executor.idle_since = None
                 duration = self.plan.durations[stage_id][task_idx] * factor
+                if self.faults is not None:
+                    duration = self.faults.task_duration(
+                        stage_id,
+                        task_idx,
+                        self.plan.durations[stage_id].shape[0],
+                        duration,
+                    )
+                    self._inflight.setdefault(executor.executor_id, []).append(
+                        (now + duration, stage_id, task_idx, now)
+                    )
                 self.running += 1
                 emit(now + duration, stage_id, executor.executor_id)
                 if self.record_log:
@@ -400,7 +456,21 @@ class ExecutionCore:
                 break
 
     def complete_task(self, now: float, stage_id: int, eid: int) -> bool:
-        """One task finished; returns True when the whole query just did."""
+        """One task finished; returns True when the whole query just did.
+
+        Completions scheduled by an executor that has since failed are
+        *stale*: the failure already killed and requeued the task, so
+        the event is dropped here (heaps cannot retract events).
+        """
+        if self.faults is not None:
+            if eid in self._failed:
+                return False
+            entries = self._inflight.get(eid)
+            if entries:
+                for i, (finish, sid, _, _) in enumerate(entries):
+                    if sid == stage_id and finish == now:
+                        entries.pop(i)
+                        break
         self.running -= 1
         executor = self.executors.get(eid)
         if executor is not None:
@@ -462,4 +532,5 @@ class ExecutionCore:
             total_tasks=self.plan.total_tasks,
             execution_log=self.build_log(),
             fully_allocated=fully_allocated,
+            fault_stats=None if self.faults is None else self.faults.finalize(end_time),
         )

@@ -38,6 +38,7 @@ from repro.engine.execution import (
     coordination_factor,
     spill_factor,
 )
+from repro.engine.faults import FaultPlan
 from repro.engine.stages import StageGraph
 
 __all__ = ["SchedulerConfig", "SimulationResult", "simulate_query"]
@@ -55,6 +56,8 @@ def simulate_query(
     config: SchedulerConfig = DEFAULT_SCHEDULER_CONFIG,
     record_log: bool = False,
     capacity_source: CapacitySource = UNBOUNDED,
+    faults: FaultPlan | None = None,
+    fault_key: int = 0,
 ) -> SimulationResult:
     """Simulate one query run under an allocation policy.
 
@@ -72,25 +75,41 @@ def simulate_query(
             arbiter (``repro.fleet``) may grant fewer.  Everything
             acquired is released back when the query finishes or sheds
             idle executors.
+        faults: optional seed-driven perturbation layer
+            (:mod:`repro.engine.faults`): executor crashes with task
+            re-execution, stragglers, spot reclamation.  ``None`` — or a
+            plan with every rate at zero — runs the exact unperturbed
+            engine, bit for bit.
+        fault_key: stable per-query RNG key for the fault streams (the
+            fleet passes the arrival-stream position).
 
     Returns:
         A :class:`~repro.engine.execution.SimulationResult`.
     """
     plan = graph if isinstance(graph, CompiledPlan) else compile_plan(graph)
     policy.reset()
-    core = ExecutionCore(plan, cluster, config, record_log=record_log)
+    injector = faults.injector(fault_key) if faults is not None else None
+    replace_failed = faults.replace_failed if faults is not None else True
+    core = ExecutionCore(
+        plan, cluster, config, record_log=record_log, faults=injector
+    )
 
     # --- event machinery ------------------------------------------------
     counter = itertools.count()
-    events: list[tuple[float, int, str, tuple[int, int] | None]] = []
+    events: list[tuple[float, int, str, object]] = []
 
-    def push(
-        time: float, kind: str, payload: tuple[int, int] | None = None
-    ) -> None:
+    def push(time: float, kind: str, payload: object = None) -> None:
         heapq.heappush(events, (time, next(counter), kind, payload))
 
     def emit_task(finish: float, stage_id: int, eid: int) -> None:
         push(finish, "task_done", (stage_id, eid))
+
+    def arrive_executor(now: float) -> None:
+        eid = core.add_executor(now)
+        if injector is not None:
+            fail_at = injector.on_added(now, eid)
+            if fail_at is not None:
+                push(fail_at, "exec_fail", eid)
 
     # --- capacity accounting ---------------------------------------------
     outstanding = 0
@@ -121,7 +140,7 @@ def simulate_query(
         cluster.clamp_request(policy.initial_executors)
     )
     for _ in range(initial):
-        core.add_executor(0.0)
+        arrive_executor(0.0)
     granted_total = initial
     push(plan.driver_seconds, "driver_done")
     push(config.tick_interval, "tick")
@@ -137,7 +156,7 @@ def simulate_query(
             core.assign(now, emit_task)
         elif kind == "exec_arrive":
             outstanding -= 1
-            core.add_executor(now)
+            arrive_executor(now)
             core.assign(now, emit_task)
         elif kind == "task_done":
             stage_id, eid = payload
@@ -145,6 +164,20 @@ def simulate_query(
                 end_time = now
                 break
             core.assign(now, emit_task)
+        elif kind == "exec_fail":
+            outcome = core.fail_executor(now, payload)
+            if outcome is not None:
+                injector.on_failed(now, payload, *outcome)
+                if replace_failed:
+                    # The failed executor's grant survives: re-provision
+                    # the slot through the normal ramp, no new acquire.
+                    for t in cluster.grant_schedule(now, 1):
+                        push(t, "exec_arrive")
+                    outstanding += 1
+                else:
+                    granted_total -= 1
+                    capacity_source.release(1)
+                core.assign(now, emit_task)
         elif kind == "tick":
             removed = core.release_idle(
                 now, policy.idle_timeout, policy.min_executors
@@ -152,6 +185,9 @@ def simulate_query(
             if removed:
                 granted_total -= len(removed)
                 capacity_source.release(len(removed))
+                if injector is not None:
+                    for eid in removed:
+                        injector.on_removed(now, eid)
             push(now + config.tick_interval, "tick")
         poll_policy(now)
         # Stall guard: work is waiting but nothing can ever run it — the

@@ -55,6 +55,7 @@ from repro.engine.execution import (
     coordination_factor,
     spill_factor,
 )
+from repro.engine.faults import FaultPlan
 from repro.engine.scheduler import simulate_query
 from repro.engine.skyline import Skyline
 from repro.engine.stages import StageGraph
@@ -201,6 +202,7 @@ def simulate_query_sweep(
     policy_factory=StaticAllocation,
     capacity_source: CapacitySource = UNBOUNDED,
     record_log: bool = False,
+    faults: FaultPlan | None = None,
 ) -> list[SimulationResult]:
     """Simulate one query at every candidate executor count.
 
@@ -225,6 +227,12 @@ def simulate_query_sweep(
             loop, which plays the counts sequentially against the shared
             state exactly like a caller's per-count loop would.
         record_log: capture per-count execution logs.
+        faults: optional :class:`~repro.engine.faults.FaultPlan`.  An
+            *active* plan falls back to the event-driven scheduler per
+            count — each count replays the same seeded fault streams, so
+            the perturbed ``t(n)`` curve is comparable across counts —
+            while ``None`` or an inert plan keeps the vectorized fast
+            path (and its bit-identity to the unperturbed event loop).
 
     Returns:
         One :class:`~repro.engine.scheduler.SimulationResult` per entry of
@@ -234,8 +242,10 @@ def simulate_query_sweep(
     plan = graph if isinstance(graph, CompiledPlan) else compile_plan(graph)
     # The fast path requires exactly dedicated-cluster grant semantics; a
     # subclass could override acquire(), so no isinstance leniency here.
-    fast = policy_factory is StaticAllocation and (
-        type(capacity_source) is UnboundedCapacity
+    fast = (
+        policy_factory is StaticAllocation
+        and type(capacity_source) is UnboundedCapacity
+        and (faults is None or not faults.active)
     )
     if fast:
         return plan.sweep(counts, cluster, config, record_log)
@@ -247,6 +257,7 @@ def simulate_query_sweep(
             config,
             record_log=record_log,
             capacity_source=capacity_source,
+            faults=faults,
         )
         for n in counts
     ]

@@ -32,6 +32,12 @@ cannot have.  This subpackage simulates that setting end to end:
   queue-delay and utilization signals, with scale-up lag and a
   scale-down cooldown.
 
+Fault tolerance: a seed-driven :class:`repro.engine.faults.FaultPlan`
+threads through :attr:`FleetConfig.faults <repro.fleet.engine.FleetConfig>`
+— executor crashes with task re-execution, stragglers, and preemptible
+spot capacity with reclamation — and the metrics grow the matching
+ledger (retries, wasted work, spot-vs-on-demand dollar split).
+
 Quickstart::
 
     from repro import AutoExecutor, Workload
@@ -49,6 +55,7 @@ Quickstart::
     print(metrics.describe())
 """
 
+from repro.engine.faults import FaultPlan, FaultStats, SpotMarket
 from repro.fleet.admission import (
     AdmissionRequest,
     CapacityArbiter,
@@ -89,6 +96,9 @@ __all__ = [
     "FleetEngine",
     "FleetConfig",
     "PoolRuntime",
+    "FaultPlan",
+    "FaultStats",
+    "SpotMarket",
     "static_allocator",
     "oracle_allocator",
     "FleetMetrics",

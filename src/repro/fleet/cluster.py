@@ -274,6 +274,8 @@ class ShardedFleet:
             elif kind == "task_done":
                 if runtimes[pool].handle_task_done(now, q, payload):
                     unfinished -= 1
+            elif kind == "exec_fail":
+                runtimes[pool].handle_exec_fail(now, q, payload)
             elif kind == "scale_online":
                 scalers[pool].capacity_online(now, payload)
                 runtimes[pool].resize(now, runtimes[pool].capacity + payload)

@@ -62,6 +62,7 @@ from repro.engine.execution import (
     SchedulerConfig,
     compile_plan,
 )
+from repro.engine.faults import FaultInjector, FaultPlan
 from repro.engine.skyline import Skyline
 from repro.engine.stages import StageGraph
 from repro.fleet.admission import (
@@ -116,6 +117,15 @@ class FleetConfig:
             idle executors are shed at the policy's own timeout/floor.
             The policy's ``initial_executors`` is ignored: the admission
             budget plays that role.
+        faults: optional fleet-wide perturbation layer
+            (:mod:`repro.engine.faults`): every admitted query draws its
+            own deterministic fault streams (keyed by the run seed and
+            its stream position), failure events land on the shared
+            heap, and — under the default ``replace_failed`` — a failed
+            executor's admission grant survives: the arbiter reservation
+            is untouched and the slot re-provisions through the normal
+            ramp.  ``None`` or an inert plan (every rate zero) serves
+            bit-identically to the unperturbed engine.
     """
 
     scheduler: SchedulerConfig = DEFAULT_SCHEDULER_CONFIG
@@ -124,6 +134,7 @@ class FleetConfig:
     min_executors_per_query: int = 1
     charge_prediction_overhead: bool = True
     scaling: ScalingFactory | None = None
+    faults: FaultPlan | None = None
 
     @property
     def wants_ticks(self) -> bool:
@@ -162,6 +173,7 @@ class _QueryRun:
     prediction_seconds: float
     emit: Callable[[float, int, int], None]
     policy: AllocationPolicy | None = None
+    injector: FaultInjector | None = None
     outstanding: int = 0
     finished: bool = False
 
@@ -369,6 +381,11 @@ class PoolRuntime:
         if self.config.scaling is not None:
             policy = self.config.scaling(request.executors)
             policy.reset()
+        injector = None
+        if self.config.faults is not None:
+            # Keyed by stream position: each query's fault streams are
+            # stable across routing/admission interleavings.
+            injector = self.config.faults.injector(q)
         run = _QueryRun(
             arrival=arrival,
             core=ExecutionCore(
@@ -376,6 +393,7 @@ class PoolRuntime:
                 self.cluster,
                 self.config.scheduler,
                 start_time=now,
+                faults=injector,
             ),
             budget=request.executors,
             admit_time=now,
@@ -383,6 +401,7 @@ class PoolRuntime:
             prediction_seconds=pred_seconds,
             emit=lambda t, sid, eid, q=q: self.push(t, "task_done", q, (sid, eid)),
             policy=policy,
+            injector=injector,
             outstanding=request.executors,
         )
         self.runs[q] = run
@@ -412,9 +431,45 @@ class PoolRuntime:
             self.record_pool(now)
             self.drain_admissions(now)
         else:
-            run.core.add_executor(now)
+            eid = run.core.add_executor(now)
+            if run.injector is not None:
+                fail_at = run.injector.on_added(now, eid)
+                if fail_at is not None:
+                    self.push(fail_at, "exec_fail", q, eid)
             run.core.assign(now, run.emit)
             self.poll_scaling(now, q)
+
+    def handle_exec_fail(self, now: float, q: int, eid: int) -> None:
+        """A drawn executor failure fired: revoke, requeue, re-provision.
+
+        The failure kills the executor's in-flight tasks (they re-enter
+        the query's pending queue, their lost progress is ledgered as
+        wasted work) and — under ``replace_failed`` — schedules a
+        replacement through the provisioning ramp *against the same
+        arbiter reservation*: the admission grant survives the crash.
+        Without replacement the slot returns to the pool, where queued
+        admissions (and an autoscaler watching pressure signals) pick it
+        up.
+        """
+        run = self.runs[q]
+        if run.finished:
+            # The query outran its failure; its grant is already back in
+            # the pool.
+            return
+        outcome = run.core.fail_executor(now, eid)
+        if outcome is None:
+            return  # idle-released before the failure fired
+        run.injector.on_failed(now, eid, *outcome)
+        if self.config.faults.replace_failed:
+            for t in self.cluster.grant_schedule(now, 1):
+                self.push(t, "exec_arrive", q)
+            run.outstanding += 1
+        else:
+            self.arbiter.release(q, 1)
+            self.record_pool(now)
+            self.drain_admissions(now)
+        run.core.assign(now, run.emit)
+        self.poll_scaling(now, q)
 
     def handle_task_done(self, now: float, q: int, payload: tuple) -> bool:
         """Returns ``True`` when this completion finished the query."""
@@ -447,6 +502,7 @@ class PoolRuntime:
             prediction_cached=run.prediction_cached,
             prediction_seconds=run.prediction_seconds,
             skyline=run.core.skyline,
+            fault_stats=None if run.injector is None else run.injector.finalize(now),
         )
 
     def on_tick(self, now: float) -> None:
@@ -460,6 +516,9 @@ class PoolRuntime:
             if removed:
                 self.arbiter.release(q, len(removed))
                 released = True
+                if run.injector is not None:
+                    for eid in removed:
+                        run.injector.on_removed(now, eid)
         if released:
             self.record_pool(now)
             self.drain_admissions(now)
@@ -596,6 +655,8 @@ class FleetEngine:
             elif kind == "task_done":
                 if runtime.handle_task_done(now, q, payload):
                     unfinished -= 1
+            elif kind == "exec_fail":
+                runtime.handle_exec_fail(now, q, payload)
             elif kind == "tick":
                 runtime.on_tick(now)
                 if unfinished > 0:

@@ -27,6 +27,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.engine.faults import FaultStats
 from repro.engine.skyline import Skyline
 
 __all__ = [
@@ -61,6 +62,10 @@ class QueryRecord:
             fleet clock) — for a fleet of one on an uncontended pool this
             is bit-identical to ``simulate_query``'s skyline, the
             differential-parity contract the engine tests assert.
+        fault_stats: the query's fault ledger (crashes, retries, wasted
+            work, spot/on-demand split) when the fleet ran under an
+            active :class:`~repro.engine.faults.FaultPlan`; ``None`` on
+            unperturbed runs.
     """
 
     query_id: str
@@ -73,6 +78,7 @@ class QueryRecord:
     prediction_cached: bool | None = None
     prediction_seconds: float = 0.0
     skyline: Skyline | None = None
+    fault_stats: FaultStats | None = None
 
     @property
     def latency(self) -> float:
@@ -158,6 +164,9 @@ class FleetMetrics:
     capacity_skyline: Skyline | None = None
     serving_window: tuple[float, float] | None = None
     price_per_core_hour: float = DEFAULT_PRICE_PER_CORE_HOUR
+    _fault_stats: FaultStats | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def _window(self) -> tuple[float, float]:
         if self.serving_window is not None:
@@ -265,6 +274,64 @@ class FleetMetrics:
             0.0, self.provisioned_executor_seconds - self.total_executor_seconds
         )
 
+    # --- faults ----------------------------------------------------------
+    @property
+    def fault_stats(self) -> FaultStats:
+        """Merged fault ledger across all served queries (all-zero when
+        the fleet ran unperturbed).
+
+        Memoized: the metrics object is built after the serve completes,
+        so the records are append-complete and ``summary()`` /
+        ``describe()`` — which read several ledger fields each — merge
+        once instead of once per field.
+        """
+        if self._fault_stats is None:
+            self._fault_stats = FaultStats.merged(
+                r.fault_stats for r in self.records if r.fault_stats is not None
+            )
+        return self._fault_stats
+
+    @property
+    def wasted_work_seconds(self) -> float:
+        """Task progress destroyed by executor failures (re-executed at
+        full price — the skyline billed it, then billed the retry)."""
+        return self.fault_stats.wasted_task_seconds
+
+    @property
+    def task_retries(self) -> int:
+        """Tasks re-executed after a crash or spot reclamation."""
+        return self.fault_stats.task_retries
+
+    @property
+    def executor_failures(self) -> int:
+        """Executor losses of either cause (crash or reclamation)."""
+        return self.fault_stats.failures
+
+    @property
+    def spot_executor_seconds(self) -> float:
+        return self.fault_stats.spot_executor_seconds
+
+    @property
+    def ondemand_executor_seconds(self) -> float:
+        return self.fault_stats.ondemand_executor_seconds
+
+    @property
+    def billed_occupancy_seconds(self) -> float:
+        """Occupancy in on-demand-equivalent executor-seconds.
+
+        Queries without a fault ledger bill their skyline AUC at full
+        price (the identical sum the pre-fault engine computed, bit for
+        bit); queries served under a fault plan bill their classified
+        on-demand seconds plus spot seconds at the spot discount.
+        """
+        total = 0.0
+        for r in self.records:
+            if r.fault_stats is None:
+                total += r.auc
+            else:
+                total += r.fault_stats.billed_executor_seconds
+        return total
+
     def _dollars(self, executor_seconds: float) -> float:
         core_hours = executor_seconds * self.cores_per_executor / 3600.0
         return core_hours * self.price_per_core_hour
@@ -274,15 +341,34 @@ class FleetMetrics:
         return self._dollars(self.idle_capacity_seconds)
 
     @property
+    def spot_dollar_cost(self) -> float:
+        """The discounted bill for spot executor-seconds."""
+        stats = self.fault_stats
+        return self._dollars(stats.spot_executor_seconds * stats.spot_discount)
+
+    @property
+    def ondemand_dollar_cost(self) -> float:
+        """The full-price bill for on-demand executor-seconds (occupancy
+        billed by AUC when no fault ledger exists)."""
+        return max(
+            0.0,
+            self._dollars(self.billed_occupancy_seconds) - self.spot_dollar_cost,
+        )
+
+    @property
     def total_dollar_cost(self) -> float:
         """Occupancy cost plus the bill for autoscaled-but-idle capacity.
 
         A statically provisioned pool charges pure occupancy (the
         paper's metric); capacity an autoscaler provisioned is paid for
-        whether queries used it or not.
+        whether queries used it or not; spot executor-seconds are billed
+        at their discount.  Idle *autoscaled* capacity is billed at the
+        full on-demand rate — spot classification exists only for
+        executor instances that actually arrived, so the conservative
+        choice is to price the unoccupied provisioned gap as on-demand.
         """
         return self._dollars(
-            self.total_executor_seconds + self.idle_capacity_seconds
+            self.billed_occupancy_seconds + self.idle_capacity_seconds
         )
 
     @property
@@ -305,6 +391,7 @@ class FleetMetrics:
 
     def summary(self) -> dict[str, float]:
         """The headline numbers as a flat dict (benchmark-friendly)."""
+        stats = self.fault_stats
         return {
             "n_queries": float(self.n_queries),
             "makespan_s": self.makespan,
@@ -321,6 +408,11 @@ class FleetMetrics:
             "total_dollar_cost": self.total_dollar_cost,
             "provisioned_dollar_cost": self.provisioned_dollar_cost,
             "prediction_cache_hit_rate": self.prediction_cache_hit_rate(),
+            "executor_failures": float(stats.failures),
+            "task_retries": float(stats.task_retries),
+            "wasted_work_seconds": float(stats.wasted_task_seconds),
+            "spot_executor_seconds": float(stats.spot_executor_seconds),
+            "spot_dollar_cost": self.spot_dollar_cost,
         }
 
     def describe(self) -> str:
@@ -342,6 +434,18 @@ class FleetMetrics:
             f"provisioned cost      ${s['provisioned_dollar_cost']:9.2f}",
             f"prediction cache hit  {s['prediction_cache_hit_rate']:10.1%}",
         ]
+        if any(r.fault_stats is not None for r in self.records):
+            stats = self.fault_stats
+            lines += [
+                f"executor failures     {stats.crashes} crashes, "
+                f"{stats.reclamations} reclamations",
+                f"task retries          {stats.task_retries} "
+                f"({s['wasted_work_seconds']:.0f} task-seconds wasted)",
+                f"spot / on-demand      {stats.spot_executor_seconds:.0f} / "
+                f"{stats.ondemand_executor_seconds:.0f} executor-seconds "
+                f"(${self.spot_dollar_cost:.2f} / "
+                f"${self.ondemand_dollar_cost:.2f})",
+            ]
         return "\n".join(lines)
 
 
@@ -430,6 +534,39 @@ class ClusterMetrics:
         return sum(pool.idle_capacity_dollar_cost for pool in self.pools)
 
     @property
+    def fault_stats(self) -> FaultStats:
+        """Merged fault ledger across every pool's served queries."""
+        return FaultStats.merged(pool.fault_stats for pool in self.pools)
+
+    @property
+    def wasted_work_seconds(self) -> float:
+        return sum(pool.wasted_work_seconds for pool in self.pools)
+
+    @property
+    def task_retries(self) -> int:
+        return sum(pool.task_retries for pool in self.pools)
+
+    @property
+    def executor_failures(self) -> int:
+        return sum(pool.executor_failures for pool in self.pools)
+
+    @property
+    def spot_executor_seconds(self) -> float:
+        return sum(pool.spot_executor_seconds for pool in self.pools)
+
+    @property
+    def ondemand_executor_seconds(self) -> float:
+        return sum(pool.ondemand_executor_seconds for pool in self.pools)
+
+    @property
+    def spot_dollar_cost(self) -> float:
+        return sum(pool.spot_dollar_cost for pool in self.pools)
+
+    @property
+    def ondemand_dollar_cost(self) -> float:
+        return sum(pool.ondemand_dollar_cost for pool in self.pools)
+
+    @property
     def provisioned_dollar_cost(self) -> float:
         return sum(pool.provisioned_dollar_cost for pool in self.pools)
 
@@ -465,6 +602,11 @@ class ClusterMetrics:
             "total_dollar_cost": self.total_dollar_cost,
             "provisioned_dollar_cost": self.provisioned_dollar_cost,
             "prediction_cache_hit_rate": self.prediction_cache_hit_rate(),
+            "executor_failures": float(self.executor_failures),
+            "task_retries": float(self.task_retries),
+            "wasted_work_seconds": float(self.wasted_work_seconds),
+            "spot_executor_seconds": float(self.spot_executor_seconds),
+            "spot_dollar_cost": self.spot_dollar_cost,
         }
 
     def describe(self) -> str:
@@ -485,6 +627,18 @@ class ClusterMetrics:
             f"provisioned cost      ${s['provisioned_dollar_cost']:9.2f}",
             f"prediction cache hit  {s['prediction_cache_hit_rate']:10.1%}",
         ]
+        if any(r.fault_stats is not None for pool in self.pools for r in pool.records):
+            stats = self.fault_stats
+            lines += [
+                f"executor failures     {stats.crashes} crashes, "
+                f"{stats.reclamations} reclamations",
+                f"task retries          {stats.task_retries} "
+                f"({s['wasted_work_seconds']:.0f} task-seconds wasted)",
+                f"spot / on-demand      {stats.spot_executor_seconds:.0f} / "
+                f"{stats.ondemand_executor_seconds:.0f} executor-seconds "
+                f"(${self.spot_dollar_cost:.2f} / "
+                f"${self.ondemand_dollar_cost:.2f})",
+            ]
         for i, pool in enumerate(self.pools):
             lines.append(
                 f"  pool {i}: {pool.n_queries:4d} queries, "

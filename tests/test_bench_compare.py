@@ -142,9 +142,12 @@ def test_custom_tolerance_flag(tmp_path):
 def fleet_json(
     ratio=1.1,
     parity=True,
+    zero_fault_parity=True,
     p95_win=True,
     cost_win=True,
+    spot_win=True,
     capacity_respected=True,
+    spot_capacity_respected=True,
 ):
     scenario = {
         "rate_qps": 2.0,
@@ -155,7 +158,7 @@ def fleet_json(
         },
     }
     return {
-        "schema": "repro-bench-fleet/v1",
+        "schema": "repro-bench-fleet/v2",
         "machine": {"python": "3.11", "numpy": "2.0", "platform": "test"},
         "params": {
             "scale_factor": 100,
@@ -168,14 +171,40 @@ def fleet_json(
             "pool_max": 48,
             "seed": 0,
         },
-        "parity": {"checked_plans": 17, "bit_identical": parity},
+        "parity": {
+            "checked_plans": 17,
+            "bit_identical": parity,
+            "zero_fault_bit_identical": zero_fault_parity,
+        },
         "overhead": {
             "fleet_seconds": 1.0,
             "sharded_seconds": ratio,
             "ratio": ratio,
         },
         "scenarios": [scenario],
-        "wins": {"p95_at_peak": p95_win, "cost_at_peak": cost_win},
+        "faults": {
+            "rate_qps": 0.3,
+            "spot_discount": 0.35,
+            "p95_tolerance": 1.05,
+            "on_demand": {"p95_latency_s": 100.0, "total_dollar_cost": 8.0},
+            "sweep": [
+                {
+                    "reclaim_rate_per_s": 1.0 / 1200.0,
+                    "spot": {
+                        "p95_latency_s": 101.0,
+                        "total_dollar_cost": 3.0,
+                        "capacity_respected": spot_capacity_respected,
+                    },
+                    "cost_win": True,
+                    "matched_p95": True,
+                }
+            ],
+        },
+        "wins": {
+            "p95_at_peak": p95_win,
+            "cost_at_peak": cost_win,
+            "spot_at_matched_p95": spot_win,
+        },
     }
 
 
@@ -189,6 +218,25 @@ class TestFleetGate:
         proc = run_gate(tmp_path, fleet_json(), fleet_json(parity=False))
         assert proc.returncode == 1
         assert "cluster layer parity lost" in proc.stderr
+
+    def test_lost_zero_fault_parity_fails(self, tmp_path):
+        proc = run_gate(
+            tmp_path, fleet_json(), fleet_json(zero_fault_parity=False)
+        )
+        assert proc.returncode == 1
+        assert "zero-fault parity lost" in proc.stderr
+
+    def test_lost_spot_win_fails(self, tmp_path):
+        proc = run_gate(tmp_path, fleet_json(), fleet_json(spot_win=False))
+        assert proc.returncode == 1
+        assert "matched p95" in proc.stderr
+
+    def test_spot_capacity_violation_fails(self, tmp_path):
+        proc = run_gate(
+            tmp_path, fleet_json(), fleet_json(spot_capacity_respected=False)
+        )
+        assert proc.returncode == 1
+        assert "spot pool" in proc.stderr
 
     def test_lost_p95_win_fails(self, tmp_path):
         proc = run_gate(tmp_path, fleet_json(), fleet_json(p95_win=False))
@@ -241,10 +289,12 @@ def test_checked_in_fleet_baseline_is_valid():
             encoding="utf-8"
         )
     )
-    assert data["schema"] == "repro-bench-fleet/v1"
+    assert data["schema"] == "repro-bench-fleet/v2"
     assert data["parity"]["bit_identical"] is True
+    assert data["parity"]["zero_fault_bit_identical"] is True
     assert data["wins"]["p95_at_peak"] is True
     assert data["wins"]["cost_at_peak"] is True
+    assert data["wins"]["spot_at_matched_p95"] is True
     assert data["overhead"]["ratio"] < 2.0
     # the recorded peak-rate scenario backs the wins block
     peak = data["scenarios"][-1]
@@ -257,3 +307,13 @@ def test_checked_in_fleet_baseline_is_valid():
         < peak["static_single_pool"]["provisioned_dollar_cost"]
     )
     assert peak["sharded_autoscaled"]["capacity_respected"] is True
+    # the recorded fault sweep backs the spot win: cheaper at matched p95
+    # at the base reclamation rate, with real retry churn ledgered
+    base_spot = data["faults"]["sweep"][0]
+    assert base_spot["cost_win"] is True
+    assert base_spot["matched_p95"] is True
+    assert (
+        base_spot["spot"]["total_dollar_cost"]
+        < data["faults"]["on_demand"]["total_dollar_cost"]
+    )
+    assert base_spot["spot"]["task_retries"] > 0

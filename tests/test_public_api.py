@@ -29,6 +29,7 @@ PUBLIC_MODULES = [
     "repro.engine.cluster",
     "repro.engine.allocation",
     "repro.engine.execution",
+    "repro.engine.faults",
     "repro.engine.scheduler",
     "repro.engine.sweep",
     "repro.engine.skyline",
