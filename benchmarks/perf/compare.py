@@ -17,7 +17,7 @@ candidate must carry the same one):
 - **parity** — the run's fleet-of-one vs ``simulate_query`` bit-identity
   check (the shared execution core's contract) must hold.
 
-``repro-bench-fleet/v2`` (from ``run_fleet_bench.py``):
+``repro-bench-fleet/v3`` (from ``run_fleet_bench.py``):
 
 - **parity** — the run's sharded-of-one vs ``FleetEngine.serve``
   bit-identity check (the cluster layer's contract) must hold;
@@ -31,7 +31,11 @@ candidate must carry the same one):
   dollar cost while holding p95 within the matched-latency tolerance;
 - **overhead** — the sharded/fleet wall-clock ratio (hardware-normalized
   the same way the sweep speedup is) must not grow more than
-  ``--max-regression`` above the baseline's.
+  ``--max-regression`` above the baseline's;
+- **tracing** — the observability layer's zero-cost contract: the
+  traced serve must reproduce the untraced serve bit-for-bit, and the
+  tracing-on/tracing-off wall-clock ratio must stay at or below
+  ``--max-trace-overhead`` (default 1.10).
 
 Usage:
 
@@ -52,7 +56,7 @@ import sys
 from pathlib import Path
 
 SWEEP_SCHEMA = "repro-bench-sweep/v2"
-FLEET_SCHEMA = "repro-bench-fleet/v2"
+FLEET_SCHEMA = "repro-bench-fleet/v3"
 SCHEMAS = (SWEEP_SCHEMA, FLEET_SCHEMA)
 
 
@@ -140,13 +144,17 @@ def compare_fleet(baseline: dict, candidate: dict, args) -> list[str]:
     parity = bool(candidate["parity"]["bit_identical"])
     zero_fault = bool(candidate["parity"].get("zero_fault_bit_identical"))
     wins = candidate["wins"]
+    tracing = candidate["tracing"]
+    trace_ratio = float(tracing["ratio"])
 
     print(f"baseline  overhead ratio: {base_ratio:5.2f}x  ({args.baseline})")
     print(f"candidate overhead ratio: {cand_ratio:5.2f}x  ({args.candidate})")
+    print(f"candidate tracing  ratio: {trace_ratio:5.2f}x")
     gate_line = (
         f"gate: <= {threshold:.2f}x (baseline + {args.max_regression:.0%}), "
-        f"sharded-of-one parity, zero-fault parity, p95 + cost wins at "
-        f"peak rate, spot cost win at matched p95"
+        f"sharded-of-one parity, zero-fault parity, traced-serve parity, "
+        f"tracing overhead <= {args.max_trace_overhead:.2f}x, p95 + cost "
+        f"wins at peak rate, spot cost win at matched p95"
     )
     print(gate_line)
 
@@ -160,6 +168,17 @@ def compare_fleet(baseline: dict, candidate: dict, args) -> list[str]:
         failures.append(
             "an inert FaultPlan no longer serves bit-identically to the "
             "unperturbed engine (zero-fault parity lost)"
+        )
+    if not bool(tracing["traced_bit_identical"]):
+        failures.append(
+            "a traced serve no longer reproduces the untraced serve "
+            "bit-for-bit (zero-cost tracing contract lost)"
+        )
+    if trace_ratio > args.max_trace_overhead:
+        failures.append(
+            f"tracing overhead too high: {trace_ratio:.2f}x > "
+            f"{args.max_trace_overhead:.2f}x (ring-buffer tracing must "
+            "stay near-free)"
         )
     if not bool(wins.get("p95_at_peak")):
         failures.append(
@@ -218,6 +237,13 @@ def main(argv=None) -> int:
         default=5.0,
         help="absolute sweep-vs-loop speedup floor (sweep schema only, "
         "default 5.0)",
+    )
+    parser.add_argument(
+        "--max-trace-overhead",
+        type=float,
+        default=1.10,
+        help="absolute ceiling on the tracing-on/tracing-off wall-clock "
+        "ratio (fleet schema only, default 1.10)",
     )
     args = parser.parse_args(argv)
 

@@ -27,12 +27,21 @@ Measures, on the real TPC-DS workload:
    the market's base reclamation rate, spot capacity + task retries
    must beat on-demand on total dollar cost while holding p95 within
    the matched-latency tolerance (the sweep's tail shows where wasted
-   work and replacement ramps eat the discount).
+   work and replacement ramps eat the discount);
+5. **tracing** — the observability layer's zero-cost contract.  A serve
+   with a ``RingBufferTracer`` attached must reproduce the untraced
+   serve's records, skyline, and summary bit-for-bit, and its
+   wall-clock must stay within the gated overhead ratio (≤1.10 by
+   default) of the untraced pass.
 
 The result is written as ``BENCH_fleet.json`` (schema
-``repro-bench-fleet/v2``, documented in ``benchmarks/perf/README.md``);
+``repro-bench-fleet/v3``, documented in ``benchmarks/perf/README.md``);
 CI uploads it as an artifact and gates regressions against the
 checked-in ``baseline_fleet.json`` via ``compare.py``.
+
+Pass ``--trace-out <path>`` to also write a full JSONL event log of the
+contended parity stream (one ``repro.obs.TraceEvent`` per line,
+loadable with ``repro.obs.read_jsonl`` / ``repro.obs.TraceAnalyzer``).
 
 Run from the repository root:
 
@@ -42,8 +51,10 @@ Run from the repository root:
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -63,9 +74,10 @@ from repro.fleet.cluster import PoolSpec, ShardedFleet  # noqa: E402
 from repro.fleet.engine import FleetConfig, FleetEngine, static_allocator  # noqa: E402
 from repro.fleet.prediction import PredictionService  # noqa: E402
 from repro.fleet.routing import CostAwareRouter  # noqa: E402
+from repro.obs import JsonlTracer, RingBufferTracer  # noqa: E402
 from repro.workloads.generator import Workload  # noqa: E402
 
-SCHEMA = "repro-bench-fleet/v2"
+SCHEMA = "repro-bench-fleet/v3"
 
 # Same size-diverse TPC-DS slice as the sweep bench.
 DEFAULT_QUERY_IDS = tuple(
@@ -206,6 +218,62 @@ def measure_overhead(workload, stream, capacity, repeats):
     return fleet_best, sharded_best
 
 
+def measure_tracing(workload, stream, capacity, repeats):
+    """The observability layer's zero-cost contract, both halves.
+
+    Times the same serve with ``tracer=None`` and with a
+    ``RingBufferTracer`` attached (the cheapest real sink, so the ratio
+    is the tracing machinery's floor), and re-proves that the traced
+    serve reproduces the untraced one bit-for-bit.
+
+    The gated ``ratio`` divides two ~80 ms passes, so it needs noise
+    discipline a min-of-3 cannot give: each pass starts from a
+    collected GC state, at least 9 interleaved off/on pairs run, and
+    the ratio is the *median of per-pair ratios* — a noise burst that
+    straddles one pair inflates both sides of that pair and cancels,
+    while the min-of-mins estimator it replaces needs only one quiet
+    pass on one side to report a phantom regression.
+    ``off_seconds``/``on_seconds`` remain the best single passes, for
+    trend inspection.
+    """
+    allocator = static_allocator(8)
+    off_best = float("inf")
+    on_best = float("inf")
+    pair_ratios = []
+    identical = True
+    events = 0
+    for _ in range(max(repeats, 9)):
+        gc.collect()
+        start = time.perf_counter()
+        untraced = FleetEngine(
+            workload, capacity=capacity, allocator=allocator
+        ).serve(stream)
+        off_seconds = time.perf_counter() - start
+        tracer = RingBufferTracer()
+        gc.collect()
+        start = time.perf_counter()
+        traced = FleetEngine(
+            workload, capacity=capacity, allocator=allocator, tracer=tracer
+        ).serve(stream)
+        on_seconds = time.perf_counter() - start
+        off_best = min(off_best, off_seconds)
+        on_best = min(on_best, on_seconds)
+        pair_ratios.append(on_seconds / off_seconds)
+        events = len(tracer)
+        identical = identical and (
+            traced.records == untraced.records
+            and traced.pool_skyline.points == untraced.pool_skyline.points
+            and traced.summary() == untraced.summary()
+        )
+    return {
+        "off_seconds": round(off_best, 4),
+        "on_seconds": round(on_best, 4),
+        "ratio": round(statistics.median(pair_ratios), 3),
+        "events": int(events),
+        "traced_bit_identical": bool(identical),
+    }
+
+
 def summarize(metrics):
     return {
         "p50_latency_s": round(float(metrics.p50_latency), 3),
@@ -292,6 +360,20 @@ def run(args):
     )
     ratio = sharded_seconds / fleet_seconds
 
+    print("measuring tracing on/off overhead ...")
+    tracing = measure_tracing(
+        workload, overhead_stream, args.static_capacity, args.repeats
+    )
+
+    if args.trace_out:
+        trace_path = Path(args.trace_out)
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        with JsonlTracer(trace_path) as tracer:
+            ShardedFleet(
+                workload, [args.static_capacity], static_allocator(8), tracer=tracer
+            ).serve(parity_stream)
+            print(f"wrote {tracer.events_written} trace events to {trace_path}")
+
     print("training AutoExecutor for the rate sweep ...")
     system = AutoExecutor(family="power_law").train(workload, cluster)
     print("running rate-sweep scenarios ...")
@@ -351,6 +433,7 @@ def run(args):
             "sharded_seconds": round(sharded_seconds, 4),
             "ratio": round(ratio, 3),
         },
+        "tracing": tracing,
         "scenarios": scenarios,
         "faults": faults,
         "wins": wins,
@@ -365,6 +448,12 @@ def run(args):
     print(
         f"overhead: fleet {fleet_seconds:.3f}s vs sharded {sharded_seconds:.3f}s "
         f"(ratio {ratio:.2f}x)"
+    )
+    print(
+        f"tracing: off {tracing['off_seconds']:.3f}s vs on "
+        f"{tracing['on_seconds']:.3f}s (ratio {tracing['ratio']:.2f}x, "
+        f"{tracing['events']} events, "
+        f"bit_identical={tracing['traced_bit_identical']})"
     )
     for scenario in scenarios:
         static = scenario["static_single_pool"]
@@ -404,6 +493,7 @@ def run(args):
     ok = (
         parity_identical
         and zero_fault_identical
+        and tracing["traced_bit_identical"]
         and all(wins.values())
         and invariants_ok
     )
@@ -414,6 +504,13 @@ def main(argv=None):
     default_out = REPO_ROOT / "benchmarks" / "perf" / "output" / "BENCH_fleet.json"
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=str(default_out), help="output JSON path")
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="also write a JSONL trace of the contended parity stream "
+        "(one repro.obs.TraceEvent per line; load with "
+        "repro.obs.read_jsonl / TraceAnalyzer)",
+    )
     parser.add_argument(
         "--queries",
         type=int,

@@ -21,7 +21,14 @@ the CI benchmark (``benchmarks/perf/run_fleet_bench.py``) gates.
 Run from the repository root:
 
     PYTHONPATH=src python examples/sharded_cluster.py
+
+Pass ``--trace-out sharded.jsonl`` to record the sharded serve as a
+structured JSONL trace (see :mod:`repro.obs`); the example then replays
+the log through :class:`~repro.obs.TraceAnalyzer` and prints the
+per-pool utilization it rebuilt from events alone.
 """
+
+import argparse
 
 from repro.core.autoexecutor import AutoExecutor
 from repro.fleet import (
@@ -33,6 +40,7 @@ from repro.fleet import (
     ShardedFleet,
     poisson_arrivals,
 )
+from repro.obs import JsonlTracer, TraceAnalyzer, read_jsonl
 from repro.workloads.generator import Workload
 
 QUERY_IDS = tuple(
@@ -46,6 +54,15 @@ STATIC_CAPACITY = 96
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the sharded serve's structured trace as JSONL",
+    )
+    args = parser.parse_args()
+
     workload = Workload(scale_factor=100, query_ids=QUERY_IDS)
     print(f"training AutoExecutor on {len(QUERY_IDS)} TPC-DS templates ...")
     system = AutoExecutor(family="power_law").train(workload)
@@ -70,13 +87,22 @@ def main() -> None:
         low_utilization=0.5,
     )
     print("\n=== sharded fleet: 4 autoscaled pools, cost-aware routing ===")
+    tracer = JsonlTracer(args.trace_out) if args.trace_out else None
     sharded = ShardedFleet(
         workload,
         [PoolSpec(capacity=8, autoscaler=autoscaler) for _ in range(4)],
         PredictionService.from_autoexecutor(system).allocate,
         router=CostAwareRouter(),
+        tracer=tracer,
     ).serve(arrivals)
     print(sharded.describe())
+    if tracer is not None:
+        tracer.close()
+        print(f"\nwrote {tracer.events_written} events to {args.trace_out}")
+        analyzer = TraceAnalyzer(read_jsonl(args.trace_out))
+        for pool in analyzer.pools():
+            util = analyzer.utilization(pool)
+            print(f"  pool {pool}: utilization {util:.1%} (rebuilt from trace)")
 
     print("\n=== static vs sharded ===")
     rows = [

@@ -22,6 +22,9 @@ every substrate the paper's evaluation needs:
   concurrent queries: arrival processes, admission control over finite
   capacity, a multi-query fleet engine, and an online prediction service
   with a plan-signature cache;
+- :mod:`repro.obs` — observability: structured tracing with a zero-cost
+  off switch, streaming metric sketches, and a trace analyzer that
+  rebuilds timelines, skylines, and Sparklens execution logs;
 - :mod:`repro.experiments` — the harness behind the paper's figures.
 
 Quickstart::
@@ -37,9 +40,16 @@ from repro.core.autoexecutor import AutoExecutor, AutoExecutorRule
 from repro.core.ppm import AmdahlPPM, PowerLawPPM
 from repro.fleet.engine import FleetEngine
 from repro.fleet.prediction import PredictionService
+from repro.obs import (
+    JsonlTracer,
+    QuantileSketch,
+    RingBufferTracer,
+    TraceAnalyzer,
+    TraceEvent,
+)
 from repro.workloads.generator import Workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AutoExecutor",
@@ -49,5 +59,10 @@ __all__ = [
     "Workload",
     "FleetEngine",
     "PredictionService",
+    "TraceEvent",
+    "RingBufferTracer",
+    "JsonlTracer",
+    "TraceAnalyzer",
+    "QuantileSketch",
     "__version__",
 ]

@@ -54,6 +54,7 @@ from repro.engine.cluster import Cluster
 from repro.engine.faults import FaultInjector, FaultStats
 from repro.engine.skyline import Skyline
 from repro.engine.stages import StageGraph
+from repro.obs.trace import TraceEvent, Tracer
 from repro.sparklens.log import ExecutionLog, StageLog
 
 __all__ = [
@@ -289,6 +290,14 @@ class ExecutionCore:
             :meth:`fail_executor` can kill and requeue exactly the work
             that was running; without one no extra state is kept and
             every code path is bit-identical to the pre-fault engine.
+        tracer: optional :class:`~repro.obs.trace.Tracer` receiving this
+            query's execution events (task assign/done/kill, stage
+            ready/done, executor add/remove).  ``None`` (the default) is
+            the zero-cost off switch: every emission sits behind one
+            ``is not None`` check and no event object is built.
+        trace_pool / trace_query: identity stamped on emitted events —
+            the owning pool index and arrival-stream position (``-1``
+            for dedicated single-query runs).
     """
 
     def __init__(
@@ -299,6 +308,9 @@ class ExecutionCore:
         record_log: bool = False,
         start_time: float = 0.0,
         faults: FaultInjector | None = None,
+        tracer: Tracer | None = None,
+        trace_pool: int = -1,
+        trace_query: int = -1,
     ) -> None:
         self.plan = plan
         self.graph = plan.graph
@@ -306,6 +318,17 @@ class ExecutionCore:
         self.config = config
         self.record_log = record_log
         self.faults = faults
+        self.tracer = tracer
+        self._trace_pool = trace_pool
+        self._trace_query = trace_query
+        self._trace_qid = plan.graph.query_id if tracer is not None else None
+        # Hot-path emission context, prebuilt so assign() pays one load
+        # + unpack per call instead of four attribute loads.
+        self._assign_ctx = (
+            (tracer.emit, trace_pool, trace_query, self._trace_qid)
+            if tracer is not None
+            else None
+        )
         # In-flight task registry, kept only under fault injection:
         # eid -> [(finish time, stage_id, task_idx, start time), ...].
         self._inflight: dict[int, list[tuple[float, int, int, float]]] = {}
@@ -327,6 +350,28 @@ class ExecutionCore:
         self.skyline = Skyline()
         self.skyline.record(start_time, 0)
 
+    def _trace(self, now: float, kind: str, data: dict | None = None) -> None:
+        """Emit one event stamped with this core's query identity.
+
+        Callers guard with ``if self.tracer is not None`` so the
+        untraced hot path pays exactly one attribute load and comparison.
+        ``tuple.__new__`` skips the NamedTuple constructor's default
+        handling (~2x per event).
+        """
+        self.tracer.emit(
+            tuple.__new__(
+                TraceEvent,
+                (
+                    now,
+                    kind,
+                    self._trace_pool,
+                    self._trace_query,
+                    self._trace_qid,
+                    data,
+                ),
+            )
+        )
+
     # --- executors -------------------------------------------------------
     def add_executor(self, now: float) -> int:
         """One granted executor arrives; returns its id."""
@@ -334,6 +379,11 @@ class ExecutionCore:
         ec = self.cluster.cores_per_executor
         self.executors[eid] = _Executor(eid, ec, ec, idle_since=now)
         self.skyline.record(now, len(self.executors))
+        if self.tracer is not None:
+            # Raw form: grant ramps emit one of these per executor.
+            self.tracer.emit(
+                (now, "exec_add", self._trace_pool, self._trace_query, self._trace_qid, eid)
+            )
         return eid
 
     def release_idle(
@@ -368,6 +418,8 @@ class ExecutionCore:
             del self.executors[eid]
             self.skyline.record(now, len(self.executors))
             removed.append(eid)
+            if self.tracer is not None:
+                self._trace(now, "exec_remove", {"eid": eid})
         return removed
 
     def fail_executor(self, now: float, eid: int) -> tuple[int, float] | None:
@@ -396,25 +448,51 @@ class ExecutionCore:
             self.running -= 1
             self._pending.append((stage_id, task_idx))
             wasted += now - start
+            if self.tracer is not None:
+                self._trace(
+                    now,
+                    "task_kill",
+                    {"stage": stage_id, "task": task_idx, "eid": eid},
+                )
         return len(killed), wasted
 
     # --- stages ----------------------------------------------------------
     def pending_count(self) -> int:
         return len(self._pending) - self._pending_head
 
-    def emit_ready(self, stage_id: int) -> None:
+    def emit_ready(self, stage_id: int, now: float = 0.0) -> None:
         state = self.states[stage_id]
         if state.emitted or state.remaining_deps > 0:
             return
         state.emitted = True
-        for task_idx in range(self.plan.durations[stage_id].shape[0]):
+        n_tasks = self.plan.durations[stage_id].shape[0]
+        for task_idx in range(n_tasks):
             self._pending.append((stage_id, task_idx))
+        if self.tracer is not None:
+            # Raw form: fires once per stage per (re)readiness.
+            self.tracer.emit(
+                (
+                    now,
+                    "stage_ready",
+                    self._trace_pool,
+                    self._trace_query,
+                    self._trace_qid,
+                    stage_id,
+                    n_tasks,
+                )
+            )
 
-    def mark_driver_done(self) -> None:
-        """The serial driver prefix finished; root stages become ready."""
+    def mark_driver_done(self, now: float = 0.0) -> None:
+        """The serial driver prefix finished; root stages become ready.
+
+        ``now`` stamps the emitted ``driver_done`` / ``stage_ready``
+        events; it plays no role in untraced physics.
+        """
         self.driver_done = True
+        if self.tracer is not None:
+            self._trace(now, "driver_done")
         for sid in range(len(self.states)):
-            self.emit_ready(sid)
+            self.emit_ready(sid, now)
 
     # --- assignment ------------------------------------------------------
     def assign(self, now: float, emit: TaskEmit) -> None:
@@ -431,6 +509,11 @@ class ExecutionCore:
         )
         coord = coordination_factor(len(self.executors), self.config)
         factor = spill * coord
+        ctx = self._assign_ctx
+        if ctx is not None:
+            # Raw-tuple hot-path emission (see
+            # repro.obs.trace.RAW_DATA_FIELDS for the flat layout).
+            trace_emit, t_pool, t_query, t_qid = ctx
         for executor in self.executors.values():
             while executor.free_cores > 0 and self.pending_count() > 0:
                 stage_id, task_idx = self._pending[self._pending_head]
@@ -450,6 +533,20 @@ class ExecutionCore:
                     )
                 self.running += 1
                 emit(now + duration, stage_id, executor.executor_id)
+                if ctx is not None:
+                    trace_emit(
+                        (
+                            now,
+                            "task_assign",
+                            t_pool,
+                            t_query,
+                            t_qid,
+                            stage_id,
+                            task_idx,
+                            executor.executor_id,
+                            duration,
+                        )
+                    )
                 if self.record_log:
                     self.states[stage_id].observed.append(duration)
             if self.pending_count() == 0:
@@ -477,13 +574,28 @@ class ExecutionCore:
             executor.free_cores += 1
             if executor.free_cores == executor.cores:
                 executor.idle_since = now
+        # No per-task completion event: the finish instant is derivable
+        # from the task_assign event (time + duration_s) unless a
+        # task_kill retracted it — see repro.obs.trace.EVENT_KINDS.
         state = self.states[stage_id]
         state.remaining_tasks -= 1
         if state.remaining_tasks == 0:
             self.stages_left -= 1
+            if self.tracer is not None:
+                # Raw form: fires once per completed stage.
+                self.tracer.emit(
+                    (
+                        now,
+                        "stage_done",
+                        self._trace_pool,
+                        self._trace_query,
+                        self._trace_qid,
+                        stage_id,
+                    )
+                )
             for dep_id in self.plan.dependents[stage_id]:
                 self.states[dep_id].remaining_deps -= 1
-                self.emit_ready(dep_id)
+                self.emit_ready(dep_id, now)
         return self.stages_left == 0
 
     # --- starvation ------------------------------------------------------

@@ -333,7 +333,7 @@ class FaultInjector:
         """An executor left voluntarily (idle release): close billing."""
         self._close(now, eid)
 
-    def on_failed(self, now: float, eid: int, killed: int, wasted: float) -> None:
+    def on_failed(self, now: float, eid: int, killed: int, wasted: float) -> str:
         """A scheduled failure fired while the executor was alive.
 
         Args:
@@ -342,6 +342,10 @@ class FaultInjector:
             killed: in-flight tasks destroyed (from
                 ``ExecutionCore.fail_executor``).
             wasted: task-seconds of progress destroyed.
+
+        Returns:
+            The failure cause — ``"crash"`` or ``"reclaim"`` — so
+            drivers can stamp it on their traced ``exec_fail`` events.
         """
         _, cause = self._close(now, eid)
         if cause == "reclaim":
@@ -352,6 +356,7 @@ class FaultInjector:
             self.stats.replacements += 1
         self.stats.tasks_killed += killed
         self.stats.wasted_task_seconds += wasted
+        return cause or "crash"
 
     # --- tasks -----------------------------------------------------------
     def _mask(self, stage_id: int, n_tasks: int) -> np.ndarray:

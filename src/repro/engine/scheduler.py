@@ -40,6 +40,7 @@ from repro.engine.execution import (
 )
 from repro.engine.faults import FaultPlan
 from repro.engine.stages import StageGraph
+from repro.obs.trace import TraceEvent, Tracer
 
 __all__ = ["SchedulerConfig", "SimulationResult", "simulate_query"]
 
@@ -58,6 +59,7 @@ def simulate_query(
     capacity_source: CapacitySource = UNBOUNDED,
     faults: FaultPlan | None = None,
     fault_key: int = 0,
+    tracer: Tracer | None = None,
 ) -> SimulationResult:
     """Simulate one query run under an allocation policy.
 
@@ -82,6 +84,9 @@ def simulate_query(
             engine, bit for bit.
         fault_key: stable per-query RNG key for the fault streams (the
             fleet passes the arrival-stream position).
+        tracer: optional :class:`~repro.obs.trace.Tracer` receiving the
+            run's execution events (and ``fault_inject`` draws).  ``None``
+            (the default) runs bit-identically to an untraced simulation.
 
     Returns:
         A :class:`~repro.engine.execution.SimulationResult`.
@@ -91,7 +96,12 @@ def simulate_query(
     injector = faults.injector(fault_key) if faults is not None else None
     replace_failed = faults.replace_failed if faults is not None else True
     core = ExecutionCore(
-        plan, cluster, config, record_log=record_log, faults=injector
+        plan,
+        cluster,
+        config,
+        record_log=record_log,
+        faults=injector,
+        tracer=tracer,
     )
 
     # --- event machinery ------------------------------------------------
@@ -110,6 +120,15 @@ def simulate_query(
             fail_at = injector.on_added(now, eid)
             if fail_at is not None:
                 push(fail_at, "exec_fail", eid)
+                if tracer is not None:
+                    tracer.emit(
+                        TraceEvent(
+                            now,
+                            "fault_inject",
+                            query_id=plan.graph.query_id,
+                            data={"eid": eid, "fail_at": float(fail_at)},
+                        )
+                    )
 
     # --- capacity accounting ---------------------------------------------
     outstanding = 0
@@ -152,7 +171,7 @@ def simulate_query(
     while events:
         now, _, kind, payload = heapq.heappop(events)
         if kind == "driver_done":
-            core.mark_driver_done()
+            core.mark_driver_done(now)
             core.assign(now, emit_task)
         elif kind == "exec_arrive":
             outstanding -= 1
@@ -167,7 +186,21 @@ def simulate_query(
         elif kind == "exec_fail":
             outcome = core.fail_executor(now, payload)
             if outcome is not None:
-                injector.on_failed(now, payload, *outcome)
+                cause = injector.on_failed(now, payload, *outcome)
+                if tracer is not None:
+                    tracer.emit(
+                        TraceEvent(
+                            now,
+                            "exec_fail",
+                            query_id=plan.graph.query_id,
+                            data={
+                                "eid": payload,
+                                "cause": cause,
+                                "killed": outcome[0],
+                                "wasted_s": float(outcome[1]),
+                            },
+                        )
+                    )
                 if replace_failed:
                     # The failed executor's grant survives: re-provision
                     # the slot through the normal ramp, no new acquire.

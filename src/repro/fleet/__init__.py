@@ -70,6 +70,7 @@ from repro.fleet.engine import (
     FleetConfig,
     FleetEngine,
     PoolRuntime,
+    allocator_annotations,
     oracle_allocator,
     static_allocator,
 )
@@ -101,6 +102,7 @@ __all__ = [
     "SpotMarket",
     "static_allocator",
     "oracle_allocator",
+    "allocator_annotations",
     "FleetMetrics",
     "ClusterMetrics",
     "QueryRecord",

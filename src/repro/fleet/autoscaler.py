@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.fleet.routing import PoolView
+from repro.obs.trace import TraceEvent, Tracer
 
 __all__ = ["AutoscalerConfig", "PoolAutoscaler"]
 
@@ -90,10 +91,24 @@ class PoolAutoscaler:
     :meth:`capacity_online`); a negative return is an immediate shrink
     of free capacity.  The scaler keeps the pending-request and cooldown
     state; the arbiter keeps the grant invariant.
+
+    Args:
+        config: the scaling knobs.
+        tracer: optional :class:`~repro.obs.trace.Tracer` receiving one
+            ``autoscale_up`` / ``autoscale_down`` event per non-zero
+            decision.
+        pool: pool index stamped on emitted events.
     """
 
-    def __init__(self, config: AutoscalerConfig) -> None:
+    def __init__(
+        self,
+        config: AutoscalerConfig,
+        tracer: Tracer | None = None,
+        pool: int = -1,
+    ) -> None:
         self.config = config
+        self.tracer = tracer
+        self.pool = pool
         self.pending = 0
         self.last_action_at: float | None = None
         self.scale_ups = 0
@@ -137,6 +152,15 @@ class PoolAutoscaler:
                 self.pending += delta
                 self.last_action_at = now
                 self.scale_ups += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        TraceEvent(
+                            now,
+                            "autoscale_up",
+                            self.pool,
+                            data={"executors": delta, "pending": self.pending},
+                        )
+                    )
                 return delta
 
         if (
@@ -154,5 +178,14 @@ class PoolAutoscaler:
             if delta > 0:
                 self.last_action_at = now
                 self.scale_downs += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        TraceEvent(
+                            now,
+                            "autoscale_down",
+                            self.pool,
+                            data={"executors": delta},
+                        )
+                    )
                 return -delta
         return 0

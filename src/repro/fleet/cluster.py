@@ -43,10 +43,12 @@ from repro.fleet.engine import (
     FleetConfig,
     PoolRuntime,
     _raise_stalled,
+    allocator_annotations,
     decision_fields,
     validate_stream,
 )
 from repro.fleet.metrics import ClusterMetrics
+from repro.obs.trace import TraceEvent, Tracer
 from repro.fleet.routing import (
     DEFAULT_RUNTIME_ESTIMATE_S,
     PoolView,
@@ -108,6 +110,12 @@ class ShardedFleet:
         router: placement policy (default round-robin).
         cluster: node/executor shapes and provisioning lag (shared).
         config: fleet knobs (shared by every pool).
+        tracer: optional :class:`~repro.obs.trace.Tracer` receiving the
+            cluster's full event stream — arrival/prediction/routing
+            events from this driver, lifecycle events from every pool
+            runtime and autoscaler, execution events from every query's
+            core, all stamped with their pool index.  ``None`` (the
+            default) serves bit-identically to an untraced fleet.
     """
 
     def __init__(
@@ -118,6 +126,7 @@ class ShardedFleet:
         router: Router | None = None,
         cluster: Cluster = Cluster(),
         config: FleetConfig = FleetConfig(),
+        tracer: Tracer | None = None,
     ) -> None:
         specs = [
             spec if isinstance(spec, PoolSpec) else PoolSpec(capacity=int(spec))
@@ -131,6 +140,7 @@ class ShardedFleet:
         self.router: Router = router if router is not None else RoundRobinRouter()
         self.cluster = cluster
         self.config = config
+        self.tracer = tracer
         # One compile-once memo for the whole cluster: every pool serves
         # the same workload, so a plan compiles once, not once per pool.
         self._compiled: dict[str, CompiledPlan] = {}
@@ -188,15 +198,31 @@ class ShardedFleet:
                 start_ticks=start_ticks,
                 compiled=self._compiled,
                 max_capacity=spec.max_capacity,
+                tracer=self.tracer,
+                pool_index=i,
             )
             if spec.autoscaler is not None:
                 runtime.track_capacity()
-                scalers[i] = PoolAutoscaler(spec.autoscaler)
+                scalers[i] = PoolAutoscaler(spec.autoscaler, tracer=self.tracer, pool=i)
             runtimes.append(runtime)
 
+        tracer = self.tracer
         decisions: dict[int, tuple[int, bool | None, float, float | None]] = {}
+        notes: dict[int, dict] = {}
         pool_of: dict[int, int] = {}
         unfinished = len(stream)
+
+        if tracer is not None:
+            tracer.emit(
+                TraceEvent(
+                    0.0,
+                    "serve_begin",
+                    -1,
+                    -1,
+                    None,
+                    {"pools": [spec.capacity for spec in self.pools]},
+                )
+            )
 
         def view(i: int) -> PoolView:
             runtime = runtimes[i]
@@ -241,10 +267,30 @@ class ShardedFleet:
             if kind == "arrive":
                 arrival = stream[q]
                 plan = self.workload.optimized_plan(arrival.query_id)
-                decisions[q] = decision_fields(
-                    self.allocator(arrival.query_id, plan), self.max_budget
-                )
+                decision = self.allocator(arrival.query_id, plan)
+                decisions[q] = decision_fields(decision, self.max_budget)
+                notes[q] = allocator_annotations(self.allocator, decision)
                 seconds = decisions[q][2]
+                if tracer is not None:
+                    tracer.emit(
+                        TraceEvent(now, "query_arrive", -1, q, arrival.query_id)
+                    )
+                    tracer.emit(
+                        TraceEvent(
+                            now,
+                            "query_predict",
+                            -1,
+                            q,
+                            arrival.query_id,
+                            {
+                                "executors": notes[q]["predicted_executors"],
+                                "cached": decisions[q][1],
+                                "seconds": seconds,
+                                "estimated_runtime_s": decisions[q][3],
+                                "policy": notes[q]["policy"],
+                            },
+                        )
+                    )
                 delay = seconds if config.charge_prediction_overhead else 0.0
                 push(now + delay, "submit", -1, q)
             elif kind == "submit":
@@ -266,7 +312,20 @@ class ShardedFleet:
                         f"out of {self.n_pools}"
                     )
                 pool_of[q] = chosen
-                runtimes[chosen].submit(now, q, arrival, budget, cached, seconds)
+                if tracer is not None:
+                    tracer.emit(
+                        TraceEvent(
+                            now,
+                            "query_route",
+                            chosen,
+                            q,
+                            arrival.query_id,
+                            {"router": self.router.name},
+                        )
+                    )
+                runtimes[chosen].submit(
+                    now, q, arrival, budget, cached, seconds, notes[q]
+                )
             elif kind == "driver_done":
                 runtimes[pool].handle_driver_done(now, q)
             elif kind == "exec_arrive":
@@ -313,6 +372,12 @@ class ShardedFleet:
             min(r.arrival_time for r in records),
             max(r.finish_time for r in records),
         )
+        if tracer is not None:
+            tracer.emit(
+                TraceEvent(
+                    window[1], "serve_end", -1, -1, None, {"queries": len(stream)}
+                )
+            )
         pool_metrics = [runtime.finalize(serving_window=window) for runtime in runtimes]
         return ClusterMetrics(pools=pool_metrics, records=records, pool_of=placed)
 

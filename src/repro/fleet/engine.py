@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
@@ -72,12 +72,14 @@ from repro.fleet.admission import (
 )
 from repro.fleet.arrivals import QueryArrival
 from repro.fleet.metrics import FleetMetrics, QueryRecord
+from repro.obs.trace import TraceEvent, Tracer
 from repro.workloads.generator import Workload
 
 __all__ = [
     "FleetConfig",
     "FleetEngine",
     "PoolRuntime",
+    "allocator_annotations",
     "static_allocator",
     "oracle_allocator",
 ]
@@ -126,6 +128,13 @@ class FleetConfig:
             is untouched and the slot re-provisions through the normal
             ramp.  ``None`` or an inert plan (every rate zero) serves
             bit-identically to the unperturbed engine.
+        record_logs: capture each served query's observed-duration
+            :class:`~repro.sparklens.log.ExecutionLog` on its
+            :class:`~repro.fleet.metrics.QueryRecord` — the engine's own
+            accounting that the trace-rebuilt logs
+            (:meth:`repro.obs.analyze.TraceAnalyzer.execution_logs`) are
+            cross-checked against.  Off by default: logs hold per-task
+            float lists and records are otherwise tiny.
     """
 
     scheduler: SchedulerConfig = DEFAULT_SCHEDULER_CONFIG
@@ -135,6 +144,7 @@ class FleetConfig:
     charge_prediction_overhead: bool = True
     scaling: ScalingFactory | None = None
     faults: FaultPlan | None = None
+    record_logs: bool = False
 
     @property
     def wants_ticks(self) -> bool:
@@ -161,6 +171,22 @@ def decision_fields(
     return max(1, min(budget, cap)), cached, seconds, estimate
 
 
+def allocator_annotations(allocator: Allocator, decision: object) -> dict:
+    """The uniform record annotations every fleet driver attaches.
+
+    ``policy`` is the allocator's self-declared ``policy_name``
+    (``"static"``, ``"oracle"``, ``"prediction"``, or ``"custom"`` for
+    unnamed callables) and ``predicted_executors`` is the decision
+    *before* pool clamping — so a budget the pool truncated is still
+    visible next to ``QueryRecord.executors_granted``.
+    """
+    raw = decision.executors if hasattr(decision, "executors") else decision
+    return {
+        "policy": getattr(allocator, "policy_name", "custom"),
+        "predicted_executors": int(raw),
+    }
+
+
 @dataclass
 class _QueryRun:
     """Mutable per-query execution state inside the fleet."""
@@ -174,6 +200,7 @@ class _QueryRun:
     emit: Callable[[float, int, int], None]
     policy: AllocationPolicy | None = None
     injector: FaultInjector | None = None
+    annotations: dict = field(default_factory=dict)
     outstanding: int = 0
     finished: bool = False
 
@@ -205,6 +232,13 @@ class PoolRuntime:
             (shared across pools so each plan compiles once per cluster).
         max_capacity: ceiling an autoscaler may grow this pool to
             (defaults to ``capacity``: statically provisioned).
+        tracer: optional :class:`~repro.obs.trace.Tracer` receiving this
+            pool's lifecycle events (submit/admit/finish, grant moves,
+            faults, resizes) and, threaded into each query's
+            :class:`~repro.engine.execution.ExecutionCore`, its
+            execution events.  ``None`` is the zero-cost off switch.
+        pool_index: identity stamped on emitted events (a sharded fleet
+            numbers its pools; a standalone engine is pool 0).
     """
 
     def __init__(
@@ -219,19 +253,25 @@ class PoolRuntime:
         start_ticks: Callable[[float], None],
         compiled: dict[str, CompiledPlan],
         max_capacity: int | None = None,
+        tracer: Tracer | None = None,
+        pool_index: int = 0,
     ) -> None:
         self.workload = workload
         self.cluster = cluster
         self.config = config
         self.push = push
         self.start_ticks = start_ticks
+        self.tracer = tracer
+        self.pool_index = pool_index
         self.arbiter = CapacityArbiter(capacity, admission, max_capacity=max_capacity)
         self.pool_skyline = Skyline()
         self.pool_skyline.record(0.0, 0)
         self.capacity_skyline: Skyline | None = None
         self.runs: dict[int, _QueryRun] = {}
         self.records: dict[int, QueryRecord] = {}
-        self._pending: dict[int, tuple[QueryArrival, bool | None, float]] = {}
+        self._pending: dict[
+            int, tuple[QueryArrival, bool | None, float, dict | None]
+        ] = {}
         self._compiled = compiled
         self._ec = cluster.cores_per_executor
 
@@ -276,10 +316,30 @@ class PoolRuntime:
         applied = self.arbiter.resize(new_capacity)
         if self.capacity_skyline is not None:
             self.capacity_skyline.record(now, applied)
+        if self.tracer is not None:
+            self._trace(now, "pool_resize", -1, None, {"capacity": applied})
         self.drain_admissions(now)
         return applied
 
     # --- helpers ----------------------------------------------------------
+    def _trace(
+        self,
+        now: float,
+        kind: str,
+        q: int,
+        query_id: str | None,
+        data: dict | None = None,
+    ) -> None:
+        """Emit one event stamped with this pool's index.
+
+        Callers guard with ``if self.tracer is not None``; the untraced
+        path never reaches here.  ``tuple.__new__`` skips the NamedTuple
+        constructor's default handling — these fire several times per
+        query, so the shortcut is worth ~2x per event.
+        """
+        self.tracer.emit(
+            tuple.__new__(TraceEvent, (now, kind, self.pool_index, q, query_id, data))
+        )
     def _compiled_plan(self, query_id: str, graph: StageGraph) -> CompiledPlan:
         compiled = self._compiled.get(query_id)
         if compiled is None or compiled.graph is not graph:
@@ -320,6 +380,14 @@ class PoolRuntime:
             # admission queue is only for the initial budget.
             got = self.arbiter.try_acquire(q, run.arrival.app_id, target - granted)
             if got:
+                if self.tracer is not None:
+                    self._trace(
+                        now,
+                        "grant_acquire",
+                        q,
+                        run.arrival.query_id,
+                        {"executors": got},
+                    )
                 for t in self.cluster.grant_schedule(now, got):
                     self.push(t, "exec_arrive", q)
                 run.outstanding += got
@@ -334,6 +402,7 @@ class PoolRuntime:
         budget: int,
         cached: bool | None,
         prediction_seconds: float,
+        annotations: dict | None = None,
     ) -> None:
         """Queue a routed query's budget request on this pool.
 
@@ -345,7 +414,15 @@ class PoolRuntime:
         cannot cover the budget last to avoid it where possible.
         """
         budget = max(1, min(int(budget), self.arbiter.max_capacity))
-        self._pending[q] = (arrival, cached, prediction_seconds)
+        if self.tracer is not None:
+            self._trace(
+                now,
+                "query_submit",
+                q,
+                arrival.query_id,
+                {"executors": budget},
+            )
+        self._pending[q] = (arrival, cached, prediction_seconds, annotations)
         self.arbiter.submit(
             AdmissionRequest(
                 query_index=q,
@@ -375,7 +452,7 @@ class PoolRuntime:
 
     def _start_query(self, now: float, request: AdmissionRequest) -> None:
         q = request.query_index
-        arrival, cached, pred_seconds = self._pending.pop(q)
+        arrival, cached, pred_seconds, annotations = self._pending.pop(q)
         graph = self.workload.stage_graph(arrival.query_id)
         policy = None
         if self.config.scaling is not None:
@@ -386,14 +463,19 @@ class PoolRuntime:
             # Keyed by stream position: each query's fault streams are
             # stable across routing/admission interleavings.
             injector = self.config.faults.injector(q)
+        plan = self._compiled_plan(arrival.query_id, graph)
         run = _QueryRun(
             arrival=arrival,
             core=ExecutionCore(
-                self._compiled_plan(arrival.query_id, graph),
+                plan,
                 self.cluster,
                 self.config.scheduler,
+                record_log=self.config.record_logs,
                 start_time=now,
                 faults=injector,
+                tracer=self.tracer,
+                trace_pool=self.pool_index,
+                trace_query=q,
             ),
             budget=request.executors,
             admit_time=now,
@@ -402,9 +484,27 @@ class PoolRuntime:
             emit=lambda t, sid, eid, q=q: self.push(t, "task_done", q, (sid, eid)),
             policy=policy,
             injector=injector,
+            annotations={} if annotations is None else annotations,
             outstanding=request.executors,
         )
         self.runs[q] = run
+        if self.tracer is not None:
+            # The admit payload carries everything the trace analyzer
+            # needs to rebuild this query's ExecutionLog without touching
+            # the workload: the DAG, the driver prefix, and the executor
+            # shape (durations arrive later, one task_assign at a time).
+            self._trace(
+                now,
+                "query_admit",
+                q,
+                arrival.query_id,
+                {
+                    "executors": request.executors,
+                    "driver_seconds": float(plan.driver_seconds),
+                    "cores_per_executor": self._ec,
+                    "stage_deps": [list(deps) for deps in plan.dependencies],
+                },
+            )
         # Push order mirrors the dedicated scheduler's bootstrap
         # (driver_done, then the tick chain, then executor arrivals)
         # so that same-instant ties break identically in both paths.
@@ -417,7 +517,7 @@ class PoolRuntime:
     # --- event handlers ---------------------------------------------------
     def handle_driver_done(self, now: float, q: int) -> None:
         run = self.runs[q]
-        run.core.mark_driver_done()
+        run.core.mark_driver_done(now)
         run.core.assign(now, run.emit)
         self.poll_scaling(now, q)
 
@@ -428,6 +528,14 @@ class PoolRuntime:
             # The query beat its own provisioning ramp; hand the late
             # executor straight back to the pool.
             self.arbiter.release(q, 1)
+            if self.tracer is not None:
+                self._trace(
+                    now,
+                    "grant_release",
+                    q,
+                    run.arrival.query_id,
+                    {"executors": 1, "reason": "late"},
+                )
             self.record_pool(now)
             self.drain_admissions(now)
         else:
@@ -436,6 +544,14 @@ class PoolRuntime:
                 fail_at = run.injector.on_added(now, eid)
                 if fail_at is not None:
                     self.push(fail_at, "exec_fail", q, eid)
+                    if self.tracer is not None:
+                        self._trace(
+                            now,
+                            "fault_inject",
+                            q,
+                            run.arrival.query_id,
+                            {"eid": eid, "fail_at": float(fail_at)},
+                        )
             run.core.assign(now, run.emit)
             self.poll_scaling(now, q)
 
@@ -459,13 +575,34 @@ class PoolRuntime:
         outcome = run.core.fail_executor(now, eid)
         if outcome is None:
             return  # idle-released before the failure fired
-        run.injector.on_failed(now, eid, *outcome)
+        cause = run.injector.on_failed(now, eid, *outcome)
+        if self.tracer is not None:
+            self._trace(
+                now,
+                "exec_fail",
+                q,
+                run.arrival.query_id,
+                {
+                    "eid": eid,
+                    "cause": cause,
+                    "killed": outcome[0],
+                    "wasted_s": float(outcome[1]),
+                },
+            )
         if self.config.faults.replace_failed:
             for t in self.cluster.grant_schedule(now, 1):
                 self.push(t, "exec_arrive", q)
             run.outstanding += 1
         else:
             self.arbiter.release(q, 1)
+            if self.tracer is not None:
+                self._trace(
+                    now,
+                    "grant_release",
+                    q,
+                    run.arrival.query_id,
+                    {"executors": 1, "reason": "failed"},
+                )
             self.record_pool(now)
             self.drain_admissions(now)
         run.core.assign(now, run.emit)
@@ -490,7 +627,17 @@ class PoolRuntime:
         run.core.executors.clear()
         if arrived:
             self.arbiter.release(q, arrived)
+            if self.tracer is not None:
+                self._trace(
+                    now,
+                    "grant_release",
+                    q,
+                    run.arrival.query_id,
+                    {"executors": arrived, "reason": "finish"},
+                )
             self.record_pool(now)
+        if self.tracer is not None:
+            self._trace(now, "query_finish", q, run.arrival.query_id)
         self.records[q] = QueryRecord(
             query_id=run.arrival.query_id,
             app_id=run.arrival.app_id,
@@ -503,6 +650,8 @@ class PoolRuntime:
             prediction_seconds=run.prediction_seconds,
             skyline=run.core.skyline,
             fault_stats=None if run.injector is None else run.injector.finalize(now),
+            annotations=run.annotations,
+            execution_log=run.core.build_log(),
         )
 
     def on_tick(self, now: float) -> None:
@@ -516,6 +665,14 @@ class PoolRuntime:
             if removed:
                 self.arbiter.release(q, len(removed))
                 released = True
+                if self.tracer is not None:
+                    self._trace(
+                        now,
+                        "grant_release",
+                        q,
+                        run.arrival.query_id,
+                        {"executors": len(removed), "reason": "idle"},
+                    )
                 if run.injector is not None:
                     for eid in removed:
                         run.injector.on_removed(now, eid)
@@ -569,6 +726,11 @@ class FleetEngine:
             this engine's ``capacity``, not ``cluster.max_executors``.
         admission: queueing policy (default FIFO).
         config: fleet knobs.
+        tracer: optional :class:`~repro.obs.trace.Tracer` receiving the
+            run's full event stream — serve/arrival/prediction events
+            from this driver, lifecycle events from the pool runtime,
+            execution events from every query's core.  ``None`` (the
+            default) serves bit-identically to an untraced engine.
     """
 
     def __init__(
@@ -579,6 +741,7 @@ class FleetEngine:
         cluster: Cluster = Cluster(),
         admission: AdmissionPolicy | None = None,
         config: FleetConfig = FleetConfig(),
+        tracer: Tracer | None = None,
     ) -> None:
         self.workload = workload
         self.capacity = int(capacity)
@@ -586,6 +749,7 @@ class FleetEngine:
         self.cluster = cluster
         self.admission = admission
         self.config = config
+        self.tracer = tracer
         # Compile-once memo, keyed like the prediction service's
         # plan-signature cache: the workload hands out one stage graph per
         # query id, so the id keys its compiled form across runs.
@@ -625,9 +789,20 @@ class FleetEngine:
             push=push,
             start_ticks=start_ticks,
             compiled=self._compiled,
+            tracer=self.tracer,
+            pool_index=0,
         )
-        decisions: dict[int, tuple[int, bool | None, float]] = {}
+        tracer = self.tracer
+        decisions: dict[int, tuple[int, bool | None, float, dict]] = {}
         unfinished = len(stream)
+        now = 0.0
+
+        if tracer is not None:
+            tracer.emit(
+                TraceEvent(
+                    0.0, "serve_begin", -1, -1, None, {"pools": [self.capacity]}
+                )
+            )
 
         # --- bootstrap ---------------------------------------------------
         for pos, arrival in enumerate(stream):
@@ -639,15 +814,39 @@ class FleetEngine:
             if kind == "arrive":
                 arrival = stream[q]
                 plan = self.workload.optimized_plan(arrival.query_id)
-                budget, cached, seconds, _ = decision_fields(
-                    self.allocator(arrival.query_id, plan), self.capacity
+                decision = self.allocator(arrival.query_id, plan)
+                budget, cached, seconds, estimate = decision_fields(
+                    decision, self.capacity
                 )
-                decisions[q] = (budget, cached, seconds)
+                notes = allocator_annotations(self.allocator, decision)
+                decisions[q] = (budget, cached, seconds, notes)
+                if tracer is not None:
+                    tracer.emit(
+                        TraceEvent(now, "query_arrive", 0, q, arrival.query_id)
+                    )
+                    tracer.emit(
+                        TraceEvent(
+                            now,
+                            "query_predict",
+                            0,
+                            q,
+                            arrival.query_id,
+                            {
+                                "executors": notes["predicted_executors"],
+                                "cached": cached,
+                                "seconds": seconds,
+                                "estimated_runtime_s": estimate,
+                                "policy": notes["policy"],
+                            },
+                        )
+                    )
                 delay = seconds if config.charge_prediction_overhead else 0.0
                 push(now + delay, "submit", q)
             elif kind == "submit":
-                budget, cached, seconds = decisions[q]
-                runtime.submit(now, q, stream[q], budget, cached, seconds)
+                budget, cached, seconds, notes = decisions[q]
+                runtime.submit(
+                    now, q, stream[q], budget, cached, seconds, notes
+                )
             elif kind == "driver_done":
                 runtime.handle_driver_done(now, q)
             elif kind == "exec_arrive":
@@ -677,6 +876,12 @@ class FleetEngine:
                 f"queued: {runtime.arbiter.queue_length})"
             )
 
+        if tracer is not None:
+            tracer.emit(
+                TraceEvent(
+                    now, "serve_end", -1, -1, None, {"queries": len(stream)}
+                )
+            )
         return runtime.finalize()
 
 
@@ -710,6 +915,7 @@ def static_allocator(n: int) -> Allocator:
     def allocate(query_id: str, plan: object) -> int:
         return n
 
+    allocate.policy_name = "static"
     return allocate
 
 
@@ -748,4 +954,5 @@ def oracle_allocator(
             cache[query_id] = int(objective(grid, curve))
         return cache[query_id]
 
+    allocate.policy_name = "oracle"
     return allocate

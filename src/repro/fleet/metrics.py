@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.engine.faults import FaultStats
 from repro.engine.skyline import Skyline
+from repro.sparklens.log import ExecutionLog
 
 __all__ = [
     "DEFAULT_PRICE_PER_CORE_HOUR",
@@ -66,6 +67,18 @@ class QueryRecord:
             work, spot/on-demand split) when the fleet ran under an
             active :class:`~repro.engine.faults.FaultPlan`; ``None`` on
             unperturbed runs.
+        annotations: structured allocator metadata, populated uniformly
+            by every fleet driver: at least ``"policy"`` (the
+            allocator's name) and ``"predicted_executors"`` (the
+            decision before pool clamping) — the same fields the trace
+            analyzer reports, and the fleet-side mirror of
+            :attr:`repro.engine.metrics.QueryTelemetry.annotations`.
+        execution_log: the engine's own observed-duration log, captured
+            when :attr:`FleetConfig.record_logs
+            <repro.fleet.engine.FleetConfig>` is on (``None``
+            otherwise).  Excluded from record equality — the parity
+            contracts compare serving outcomes, and logs hold numpy
+            arrays.
     """
 
     query_id: str
@@ -79,6 +92,8 @@ class QueryRecord:
     prediction_seconds: float = 0.0
     skyline: Skyline | None = None
     fault_stats: FaultStats | None = None
+    annotations: dict[str, object] = field(default_factory=dict)
+    execution_log: ExecutionLog | None = field(default=None, compare=False)
 
     @property
     def latency(self) -> float:
@@ -389,6 +404,21 @@ class FleetMetrics:
         """Fraction of predictive decisions served from the memo cache."""
         return _cache_hit_rate(self.records)
 
+    def streaming(self, relative_accuracy: float = 0.01):
+        """Fold the records into bounded-memory streaming stats.
+
+        Returns a :class:`repro.obs.metrics.StreamingFleetStats` whose
+        percentiles are sketch estimates within ``relative_accuracy`` of
+        the exact sorted-record values this object reports.  Local
+        import — :mod:`repro.obs` is an optional layer on top of the
+        fleet, not a dependency of it.
+        """
+        from repro.obs.metrics import StreamingFleetStats
+
+        return StreamingFleetStats.from_records(
+            self.records, relative_accuracy=relative_accuracy
+        )
+
     def summary(self) -> dict[str, float]:
         """The headline numbers as a flat dict (benchmark-friendly)."""
         stats = self.fault_stats
@@ -580,6 +610,16 @@ class ClusterMetrics:
 
     def prediction_cache_hit_rate(self) -> float:
         return _cache_hit_rate(self.records)
+
+    def streaming(self, relative_accuracy: float = 0.01):
+        """Cluster-wide streaming stats: each pool folded, then merged —
+        the associative-merge path a distributed collector would take."""
+        from repro.obs.metrics import StreamingFleetStats
+
+        merged = StreamingFleetStats(relative_accuracy=relative_accuracy)
+        for pool in self.pools:
+            merged = merged.merge(pool.streaming(relative_accuracy))
+        return merged
 
     def queries_per_pool(self) -> list[int]:
         return [pool.n_queries for pool in self.pools]

@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.features import QueryFeatures
 from repro.core.selection import elbow_point
 from repro.core.training import DEFAULT_N_GRID
+from repro.obs.trace import TraceEvent, Tracer
 
 __all__ = ["Prediction", "PredictionService"]
 
@@ -69,6 +70,12 @@ class PredictionService:
         objective: selection strategy over predicted curves (paper
             default: elbow).
         min_executors / max_executors: clamp on the selected count.
+        tracer: optional :class:`~repro.obs.trace.Tracer` receiving one
+            ``prediction`` event per served decision (count, cache hit,
+            measured seconds).  The service has no simulation clock, so
+            events are stamped at time ``0.0`` — they account for the
+            service, not the fleet timeline (the engines emit the
+            on-clock ``query_predict`` events).
     """
 
     def __init__(
@@ -78,6 +85,7 @@ class PredictionService:
         objective: _Objective = elbow_point,
         min_executors: int = 1,
         max_executors: int = 48,
+        tracer: Tracer | None = None,
     ) -> None:
         if min_executors < 1 or max_executors < min_executors:
             raise ValueError("invalid executor clamp range")
@@ -86,6 +94,7 @@ class PredictionService:
         self.objective = objective
         self.min_executors = int(min_executors)
         self.max_executors = int(max_executors)
+        self.tracer = tracer
         # signature -> (chosen count, predicted runtime at that count)
         self._cache: dict[tuple[float, ...], tuple[int, float]] = {}
         # Featurization memo for the fleet path, keyed like the engine's
@@ -160,6 +169,19 @@ class PredictionService:
             self._cache[key] = (chosen, runtime)
         elapsed = time.perf_counter() - start
         self.total_seconds += elapsed
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceEvent(
+                    0.0,
+                    "prediction",
+                    data={
+                        "executors": chosen,
+                        "cached": cached,
+                        "seconds": elapsed,
+                        "estimated_runtime_s": runtime,
+                    },
+                )
+            )
         return Prediction(
             executors=chosen,
             cached=cached,
@@ -240,3 +262,7 @@ class PredictionService:
             entry = (plan, self._featurize(plan))
             self._features_by_query[query_id] = entry
         return self._serve(entry[1], start)
+
+    # Bound methods proxy attribute reads to the function, so the fleet
+    # drivers' ``allocator_annotations`` sees this on ``service.allocate``.
+    allocate.policy_name = "prediction"

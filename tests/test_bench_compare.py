@@ -148,6 +148,8 @@ def fleet_json(
     spot_win=True,
     capacity_respected=True,
     spot_capacity_respected=True,
+    trace_ratio=1.03,
+    traced_bit_identical=True,
 ):
     scenario = {
         "rate_qps": 2.0,
@@ -158,7 +160,7 @@ def fleet_json(
         },
     }
     return {
-        "schema": "repro-bench-fleet/v2",
+        "schema": "repro-bench-fleet/v3",
         "machine": {"python": "3.11", "numpy": "2.0", "platform": "test"},
         "params": {
             "scale_factor": 100,
@@ -180,6 +182,13 @@ def fleet_json(
             "fleet_seconds": 1.0,
             "sharded_seconds": ratio,
             "ratio": ratio,
+        },
+        "tracing": {
+            "off_seconds": 1.0,
+            "on_seconds": trace_ratio,
+            "ratio": trace_ratio,
+            "events": 9000,
+            "traced_bit_identical": traced_bit_identical,
         },
         "scenarios": [scenario],
         "faults": {
@@ -257,6 +266,28 @@ class TestFleetGate:
         assert proc.returncode == 1
         assert "overhead regressed" in proc.stderr
 
+    def test_lost_traced_parity_fails(self, tmp_path):
+        proc = run_gate(
+            tmp_path, fleet_json(), fleet_json(traced_bit_identical=False)
+        )
+        assert proc.returncode == 1
+        assert "zero-cost tracing contract lost" in proc.stderr
+
+    def test_tracing_overhead_beyond_ceiling_fails(self, tmp_path):
+        proc = run_gate(tmp_path, fleet_json(), fleet_json(trace_ratio=1.2))
+        assert proc.returncode == 1
+        assert "tracing overhead too high" in proc.stderr
+
+    def test_tracing_overhead_custom_ceiling(self, tmp_path):
+        proc = run_gate(
+            tmp_path,
+            fleet_json(),
+            fleet_json(trace_ratio=1.2),
+            "--max-trace-overhead",
+            "1.25",
+        )
+        assert proc.returncode == 0, proc.stderr
+
     def test_params_drift_fails(self, tmp_path):
         drifted = fleet_json()
         drifted["params"]["pools"] = 8
@@ -289,13 +320,17 @@ def test_checked_in_fleet_baseline_is_valid():
             encoding="utf-8"
         )
     )
-    assert data["schema"] == "repro-bench-fleet/v2"
+    assert data["schema"] == "repro-bench-fleet/v3"
     assert data["parity"]["bit_identical"] is True
     assert data["parity"]["zero_fault_bit_identical"] is True
     assert data["wins"]["p95_at_peak"] is True
     assert data["wins"]["cost_at_peak"] is True
     assert data["wins"]["spot_at_matched_p95"] is True
     assert data["overhead"]["ratio"] < 2.0
+    # the observability layer's zero-cost contract, as measured
+    assert data["tracing"]["traced_bit_identical"] is True
+    assert data["tracing"]["ratio"] <= 1.10
+    assert data["tracing"]["events"] > 0
     # the recorded peak-rate scenario backs the wins block
     peak = data["scenarios"][-1]
     assert (

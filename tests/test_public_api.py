@@ -58,6 +58,11 @@ PUBLIC_MODULES = [
     "repro.fleet.engine",
     "repro.fleet.prediction",
     "repro.fleet.metrics",
+    "repro.obs",
+    "repro.obs.trace",
+    "repro.obs.sketch",
+    "repro.obs.metrics",
+    "repro.obs.analyze",
     "repro.experiments",
     "repro.experiments.runtime_data",
     "repro.experiments.crossval",
@@ -84,7 +89,8 @@ def test_top_level_quickstart_names():
     assert repro.__version__
     for name in ("AutoExecutor", "AutoExecutorRule", "PowerLawPPM",
                  "AmdahlPPM", "Workload", "FleetEngine",
-                 "PredictionService"):
+                 "PredictionService", "TraceEvent", "RingBufferTracer",
+                 "JsonlTracer", "TraceAnalyzer", "QuantileSketch"):
         assert hasattr(repro, name)
 
 
