@@ -37,6 +37,21 @@ candidate must carry the same one):
   tracing-on/tracing-off wall-clock ratio must stay at or below
   ``--max-trace-overhead`` (default 1.10).
 
+``repro-bench-scale/v1`` (from ``run_scale_bench.py``):
+
+- **memory** — the 1M-query streaming serve's peak RSS and the
+  tracemalloc pass's peak Python heap must both stay under the hard
+  ceilings the run was invoked with (``under_*_ceiling`` flags);
+- **throughput** — simulated queries per wall-clock second must not
+  fall more than ``--max-regression`` below the baseline's.  Wall clock
+  is *not* hardware-normalized here (there is no same-machine
+  reference pass), so CI invokes this schema with a loose
+  ``--max-regression`` and the real guard is the memory ceiling;
+- **parity** — the streaming serve must agree with the record-based
+  serve (exact fields equal, percentiles within the sketch bound), and
+  the multiprocess merge must equal the single-process sharded serve
+  bit for bit.
+
 Usage:
 
     python benchmarks/perf/compare.py \
@@ -46,6 +61,10 @@ Usage:
     python benchmarks/perf/compare.py \
         --baseline benchmarks/perf/baseline_fleet.json \
         --candidate benchmarks/perf/output/BENCH_fleet.json
+
+    python benchmarks/perf/compare.py --max-regression 0.6 \
+        --baseline benchmarks/perf/baseline_scale.json \
+        --candidate benchmarks/perf/output/BENCH_scale.json
 """
 
 from __future__ import annotations
@@ -57,7 +76,8 @@ from pathlib import Path
 
 SWEEP_SCHEMA = "repro-bench-sweep/v2"
 FLEET_SCHEMA = "repro-bench-fleet/v3"
-SCHEMAS = (SWEEP_SCHEMA, FLEET_SCHEMA)
+SCALE_SCHEMA = "repro-bench-scale/v1"
+SCHEMAS = (SWEEP_SCHEMA, FLEET_SCHEMA, SCALE_SCHEMA)
 
 
 def load(path: str) -> dict:
@@ -220,6 +240,66 @@ def compare_fleet(baseline: dict, candidate: dict, args) -> list[str]:
     return failures
 
 
+def compare_scale(baseline: dict, candidate: dict, args) -> list[str]:
+    base_qps = float(baseline["scale"]["throughput_qps"])
+    cand_qps = float(candidate["scale"]["throughput_qps"])
+    threshold = base_qps * (1.0 - args.max_regression)
+    scale = candidate["scale"]
+    heap = candidate["tracemalloc"]
+    streaming = candidate["parity"]["streaming"]
+    multiprocess = candidate["parity"]["multiprocess"]
+
+    print(f"baseline  throughput: {base_qps:10,.0f} q/s  ({args.baseline})")
+    print(f"candidate throughput: {cand_qps:10,.0f} q/s  ({args.candidate})")
+    print(
+        f"candidate peak RSS:   {scale['peak_rss_mb']} MiB "
+        f"(ceiling {scale['rss_ceiling_mb']} MiB); peak heap "
+        f"{heap['peak_heap_mb']} MiB (ceiling {heap['heap_ceiling_mb']} MiB)"
+    )
+    gate_line = (
+        f"gate: >= {threshold:,.0f} q/s (baseline - "
+        f"{args.max_regression:.0%}), RSS + heap under ceiling, streaming "
+        f"parity, multiprocess merge bit-identical"
+    )
+    print(gate_line)
+
+    failures = []
+    if not bool(scale.get("under_rss_ceiling")):
+        failures.append(
+            f"streaming serve peak RSS {scale['peak_rss_mb']} MiB broke the "
+            f"{scale['rss_ceiling_mb']} MiB ceiling (O(1)-memory contract "
+            "lost)"
+        )
+    if not bool(heap.get("under_heap_ceiling")):
+        failures.append(
+            f"tracemalloc peak {heap['peak_heap_mb']} MiB broke the "
+            f"{heap['heap_ceiling_mb']} MiB ceiling (per-query Python-heap "
+            "leak in streaming mode)"
+        )
+    if not bool(streaming.get("exact_fields_equal")):
+        failures.append(
+            "streaming summary drifted from the record-based serve on an "
+            "exact (non-percentile) field"
+        )
+    if not bool(streaming.get("percentiles_within_bound")):
+        failures.append(
+            "a streaming latency percentile left the sketch's rank-error "
+            "bound around the record-based order statistic"
+        )
+    if not bool(multiprocess.get("bit_identical")):
+        failures.append(
+            "multiprocess merge no longer equals the single-process sharded "
+            "serve bit-for-bit (determinism contract lost)"
+        )
+    if cand_qps < threshold:
+        failures.append(
+            f"streaming throughput regressed: {cand_qps:,.0f} q/s < "
+            f"{threshold:,.0f} q/s ({args.max_regression:.0%} below "
+            f"baseline {base_qps:,.0f} q/s)"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True)
@@ -263,8 +343,10 @@ def main(argv=None) -> int:
 
     if baseline["schema"] == SWEEP_SCHEMA:
         failures = compare_sweep(baseline, candidate, args)
-    else:
+    elif baseline["schema"] == FLEET_SCHEMA:
         failures = compare_fleet(baseline, candidate, args)
+    else:
+        failures = compare_scale(baseline, candidate, args)
 
     if failures:
         for failure in failures:

@@ -49,7 +49,7 @@ from repro.obs import (
 )
 from repro.workloads.generator import Workload
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AutoExecutor",

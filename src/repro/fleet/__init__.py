@@ -30,7 +30,18 @@ cannot have.  This subpackage simulates that setting end to end:
   service's run-time estimates);
 - :mod:`~repro.fleet.autoscaler` — per-pool elastic capacity from
   queue-delay and utilization signals, with scale-up lag and a
-  scale-down cooldown.
+  scale-down cooldown;
+- :mod:`~repro.fleet.parallel` — multiprocess sharded serving: one OS
+  process per pool, bit-identical to the single-process drivers for
+  state-blind routers on static pools.
+
+Streaming scale: :attr:`FleetConfig.streaming
+<repro.fleet.engine.FleetConfig>` switches every driver to O(1) memory
+per pool — generator arrival streams (e.g.
+:func:`~repro.fleet.arrivals.poisson_arrival_stream`), per-pool
+:class:`~repro.fleet.metrics.PoolStreamStats` accumulators instead of
+record lists, and optional JSONL record spooling
+(:func:`~repro.fleet.metrics.read_spooled_records` reads it back).
 
 Fault tolerance: a seed-driven :class:`repro.engine.faults.FaultPlan`
 threads through :attr:`FleetConfig.faults <repro.fleet.engine.FleetConfig>`
@@ -63,18 +74,32 @@ from repro.fleet.admission import (
     FIFOAdmission,
     PoolShare,
 )
-from repro.fleet.arrivals import QueryArrival, poisson_arrivals, trace_arrivals
+from repro.fleet.arrivals import (
+    QueryArrival,
+    poisson_arrival_stream,
+    poisson_arrivals,
+    trace_arrivals,
+)
 from repro.fleet.autoscaler import AutoscalerConfig, PoolAutoscaler
 from repro.fleet.cluster import PoolSpec, ShardedFleet
 from repro.fleet.engine import (
     FleetConfig,
     FleetEngine,
     PoolRuntime,
+    StreamingConfig,
     allocator_annotations,
     oracle_allocator,
     static_allocator,
 )
-from repro.fleet.metrics import ClusterMetrics, FleetMetrics, QueryRecord
+from repro.fleet.metrics import (
+    ClusterMetrics,
+    FleetMetrics,
+    PoolStreamStats,
+    QueryRecord,
+    SkylineTracker,
+    read_spooled_records,
+)
+from repro.fleet.parallel import ProcessShardExecutor
 from repro.fleet.prediction import Prediction, PredictionService
 from repro.fleet.routing import (
     CostAwareRouter,
@@ -87,6 +112,7 @@ from repro.fleet.routing import (
 
 __all__ = [
     "QueryArrival",
+    "poisson_arrival_stream",
     "poisson_arrivals",
     "trace_arrivals",
     "AdmissionRequest",
@@ -96,7 +122,9 @@ __all__ = [
     "PoolShare",
     "FleetEngine",
     "FleetConfig",
+    "StreamingConfig",
     "PoolRuntime",
+    "ProcessShardExecutor",
     "FaultPlan",
     "FaultStats",
     "SpotMarket",
@@ -106,6 +134,9 @@ __all__ = [
     "FleetMetrics",
     "ClusterMetrics",
     "QueryRecord",
+    "PoolStreamStats",
+    "SkylineTracker",
+    "read_spooled_records",
     "Prediction",
     "PredictionService",
     "ShardedFleet",

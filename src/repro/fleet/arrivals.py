@@ -23,7 +23,12 @@ import numpy as np
 
 from repro.workloads.production import ProductionTrace
 
-__all__ = ["QueryArrival", "poisson_arrivals", "trace_arrivals"]
+__all__ = [
+    "QueryArrival",
+    "poisson_arrival_stream",
+    "poisson_arrivals",
+    "trace_arrivals",
+]
 
 
 @dataclass(frozen=True)
@@ -95,6 +100,52 @@ def poisson_arrivals(
     picks = rng.integers(0, len(query_ids), size=n_queries)
     apps = rng.integers(0, n_apps, size=n_queries)
     return _finalize(times, [query_ids[p] for p in picks], apps)
+
+
+def poisson_arrival_stream(
+    query_ids: Sequence[str],
+    n_queries: int,
+    rate_qps: float,
+    n_apps: int = 16,
+    seed: int = 0,
+):
+    """Generator form of a Poisson stream, for streaming-mode serving.
+
+    Yields ``n_queries`` time-ordered :class:`QueryArrival` objects one
+    at a time in O(1) memory — the shape million-query serves need.
+    Draws are interleaved per arrival (gap, query pick, app pick), so a
+    given seed produces a *different* stream than the batch-drawing
+    :func:`poisson_arrivals`; the two functions are distinct processes,
+    not two materializations of one.  Deterministic given the seed.
+
+    Args:
+        query_ids: candidate workload queries, sampled uniformly.
+        n_queries: stream length.
+        rate_qps: mean arrival rate (queries per second).
+        n_apps: size of the application population queries are
+            attributed to.
+        seed: RNG seed.
+    """
+    if n_queries < 1:
+        raise ValueError("need at least one query")
+    if rate_qps <= 0:
+        raise ValueError("arrival rate must be positive")
+    if not query_ids:
+        raise ValueError("query_ids must be non-empty")
+    if n_apps < 1:
+        raise ValueError("need at least one application")
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / rate_qps
+    t = 0.0
+    for i in range(n_queries):
+        if i:  # the first query opens the stream at t = 0
+            t += float(rng.exponential(scale=scale))
+        yield QueryArrival(
+            index=i,
+            query_id=query_ids[int(rng.integers(0, len(query_ids)))],
+            app_id=int(rng.integers(0, n_apps)),
+            arrival_time=t,
+        )
 
 
 def trace_arrivals(

@@ -48,8 +48,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -71,7 +73,7 @@ from repro.fleet.admission import (
     CapacityArbiter,
 )
 from repro.fleet.arrivals import QueryArrival
-from repro.fleet.metrics import FleetMetrics, QueryRecord
+from repro.fleet.metrics import FleetMetrics, PoolStreamStats, QueryRecord, SkylineTracker
 from repro.obs.trace import TraceEvent, Tracer
 from repro.workloads.generator import Workload
 
@@ -79,6 +81,7 @@ __all__ = [
     "FleetConfig",
     "FleetEngine",
     "PoolRuntime",
+    "StreamingConfig",
     "allocator_annotations",
     "static_allocator",
     "oracle_allocator",
@@ -91,6 +94,31 @@ Allocator = Callable[[str, object], object]
 #: A scaling factory maps an admitted budget to the per-query policy that
 #: governs mid-run growth and idle release for that query.
 ScalingFactory = Callable[[int], AllocationPolicy]
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """Knobs for :attr:`FleetConfig.streaming` — the O(1)-memory serve.
+
+    Attributes:
+        relative_accuracy: the latency / queue-delay / run-seconds
+            sketches' accuracy bound (the α of
+            :class:`repro.obs.sketch.QuantileSketch`).
+        spool_dir: directory to spool finished :class:`QueryRecord`\\ s
+            to, one JSONL file per pool (``pool_<i>.jsonl``, the
+            :meth:`QueryRecord.to_json
+            <repro.fleet.metrics.QueryRecord.to_json>` line format).
+            ``None`` (the default) keeps records entirely out of the
+            run: the metrics answer from the streaming accumulators
+            alone.
+    """
+
+    relative_accuracy: float = 0.01
+    spool_dir: str | os.PathLike | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.relative_accuracy < 1.0:
+            raise ValueError("relative_accuracy must be in (0, 1)")
 
 
 @dataclass(frozen=True)
@@ -135,6 +163,15 @@ class FleetConfig:
             (:meth:`repro.obs.analyze.TraceAnalyzer.execution_logs`) are
             cross-checked against.  Off by default: logs hold per-task
             float lists and records are otherwise tiny.
+        streaming: the O(1)-memory serve mode.  ``None`` (the default)
+            materializes every :class:`~repro.fleet.metrics.QueryRecord`
+            exactly as before — byte-identical to the pre-streaming
+            engine.  A :class:`StreamingConfig` (or ``True`` for the
+            defaults) makes every fleet driver fold finished queries
+            into :class:`~repro.fleet.metrics.PoolStreamStats` instead
+            of retaining them, free all per-query state eagerly, accept
+            generator arrival streams (time-ordered; consumed lazily),
+            and optionally spool records to JSONL.
     """
 
     scheduler: SchedulerConfig = DEFAULT_SCHEDULER_CONFIG
@@ -145,6 +182,15 @@ class FleetConfig:
     scaling: ScalingFactory | None = None
     faults: FaultPlan | None = None
     record_logs: bool = False
+    streaming: StreamingConfig | bool | None = None
+
+    def __post_init__(self) -> None:
+        # Normalize the shorthand: streaming=True means the defaults,
+        # False means off.  Frozen dataclass, hence object.__setattr__.
+        if self.streaming is True:
+            object.__setattr__(self, "streaming", StreamingConfig())
+        elif self.streaming is False:
+            object.__setattr__(self, "streaming", None)
 
     @property
     def wants_ticks(self) -> bool:
@@ -274,6 +320,22 @@ class PoolRuntime:
         ] = {}
         self._compiled = compiled
         self._ec = cluster.cores_per_executor
+        # Streaming mode: finished queries fold into bounded accumulators
+        # (and optionally a JSONL spool) instead of self.records, and
+        # their _QueryRun state is freed eagerly.
+        self.stats: PoolStreamStats | None = None
+        self._spool = None
+        streaming = config.streaming
+        if streaming is not None:
+            self.stats = PoolStreamStats(streaming.relative_accuracy)
+            if streaming.spool_dir is not None:
+                spool_dir = Path(streaming.spool_dir)
+                spool_dir.mkdir(parents=True, exist_ok=True)
+                self._spool = open(
+                    spool_dir / f"pool_{pool_index:03d}.jsonl",
+                    "w",
+                    encoding="utf-8",
+                )
 
     # --- pool state views (routing / autoscaling) ------------------------
     @property
@@ -305,7 +367,11 @@ class PoolRuntime:
         """Start recording the provisioned-capacity skyline (autoscaled
         pools only; static pools keep ``capacity_skyline`` ``None`` so
         their metrics — and the sharded-of-one parity contract — are
-        unchanged)."""
+        unchanged).  Streaming serves track the O(1) reduction
+        (:class:`~repro.fleet.metrics.SkylineTracker`) instead."""
+        if self.stats is not None:
+            self.stats.capacity = SkylineTracker(0.0, self.arbiter.capacity)
+            return
         self.capacity_skyline = Skyline()
         self.capacity_skyline.record(0.0, self.arbiter.capacity)
 
@@ -316,6 +382,8 @@ class PoolRuntime:
         applied = self.arbiter.resize(new_capacity)
         if self.capacity_skyline is not None:
             self.capacity_skyline.record(now, applied)
+        elif self.stats is not None and self.stats.capacity is not None:
+            self.stats.capacity.record(now, applied)
         if self.tracer is not None:
             self._trace(now, "pool_resize", -1, None, {"capacity": applied})
         self.drain_admissions(now)
@@ -348,7 +416,17 @@ class PoolRuntime:
         return compiled
 
     def record_pool(self, now: float) -> None:
-        self.pool_skyline.record(now, self.arbiter.in_use)
+        stats = self.stats
+        if stats is None:
+            self.pool_skyline.record(now, self.arbiter.in_use)
+            return
+        # Streaming: fold the step into the O(1) tracker and make the
+        # capacity-invariant check (record mode does it post-hoc over
+        # the full skylines) online, at the step itself.
+        in_use = self.arbiter.in_use
+        stats.usage.record(now, in_use)
+        if in_use > self.arbiter.capacity:
+            stats.capacity_ok = False
 
     def _idle_params(self, run: _QueryRun) -> tuple[float | None, int]:
         if run.policy is not None:
@@ -538,6 +616,10 @@ class PoolRuntime:
                 )
             self.record_pool(now)
             self.drain_admissions(now)
+            if self.stats is not None and run.outstanding == 0:
+                # Streaming: the last straggling grant is back; the run
+                # held nothing but this countdown since it finished.
+                del self.runs[q]
         else:
             eid = run.core.add_executor(now)
             if run.injector is not None:
@@ -567,10 +649,10 @@ class PoolRuntime:
         admissions (and an autoscaler watching pressure signals) pick it
         up.
         """
-        run = self.runs[q]
-        if run.finished:
+        run = self.runs.get(q)
+        if run is None or run.finished:
             # The query outran its failure; its grant is already back in
-            # the pool.
+            # the pool (a streaming serve freed the run itself too).
             return
         outcome = run.core.fail_executor(now, eid)
         if outcome is None:
@@ -638,7 +720,8 @@ class PoolRuntime:
             self.record_pool(now)
         if self.tracer is not None:
             self._trace(now, "query_finish", q, run.arrival.query_id)
-        self.records[q] = QueryRecord(
+        stats = self.stats
+        record = QueryRecord(
             query_id=run.arrival.query_id,
             app_id=run.arrival.app_id,
             arrival_time=run.arrival.arrival_time,
@@ -648,11 +731,24 @@ class PoolRuntime:
             auc=run.core.skyline.auc(now),
             prediction_cached=run.prediction_cached,
             prediction_seconds=run.prediction_seconds,
-            skyline=run.core.skyline,
+            skyline=None if stats is not None else run.core.skyline,
             fault_stats=None if run.injector is None else run.injector.finalize(now),
             annotations=run.annotations,
             execution_log=run.core.build_log(),
         )
+        if stats is None:
+            self.records[q] = record
+            return
+        # Streaming: fold, optionally spool, and free the run — its
+        # skyline, core, and record all die here.  A run whose grant
+        # ramp is still in flight stays until the last exec_arrive
+        # hands the late executor back (handle_exec_arrive frees it).
+        stats.observe(record)
+        if self._spool is not None:
+            self._spool.write(record.to_json())
+            self._spool.write("\n")
+        if run.outstanding == 0:
+            del self.runs[q]
 
     def on_tick(self, now: float) -> None:
         """Periodic work: idle release, then per-run scaling polls."""
@@ -699,6 +795,25 @@ class PoolRuntime:
                 for their provisioned capacity); ``None`` bills this
                 pool's own records' span.
         """
+        if self._spool is not None:
+            self._spool.close()
+            self._spool = None
+        stats = self.stats
+        if stats is not None:
+            capacity = (
+                stats.capacity.peak
+                if stats.capacity is not None
+                else self.arbiter.capacity
+            )
+            return FleetMetrics(
+                capacity=capacity,
+                cores_per_executor=self._ec,
+                records=[],
+                pool_skyline=self.pool_skyline,
+                capacity_skyline=None,
+                serving_window=serving_window,
+                stats=stats,
+            )
         capacity = (
             self.capacity_skyline.max_executors
             if self.capacity_skyline is not None
@@ -755,21 +870,37 @@ class FleetEngine:
         # query id, so the id keys its compiled form across runs.
         self._compiled: dict[str, CompiledPlan] = {}
 
-    def serve(self, arrivals: Sequence[QueryArrival]) -> FleetMetrics:
-        """Play out the whole stream; returns the fleet's metrics."""
+    def serve(self, arrivals: Iterable[QueryArrival]) -> FleetMetrics:
+        """Play out the whole stream; returns the fleet's metrics.
+
+        In streaming mode (:attr:`FleetConfig.streaming`) ``arrivals``
+        may be any time-ordered iterable — a generator is consumed
+        lazily, one arrival ahead of the clock, so the stream never
+        materializes.  Record mode keeps the eager list semantics (and
+        its duplicate-index validation) unchanged.
+        """
         # Queries are keyed internally by *stream position*, never by the
         # user-supplied ``QueryArrival.index`` field — an earlier version
         # mixed the two, silently mismatching allocator decisions with
         # queries whenever index fields did not equal list positions.
-        stream = validate_stream(arrivals)
         config = self.config
+        streaming = config.streaming
         ticking = False
 
         counter = itertools.count()
-        events: list[tuple[float, int, str, int, object]] = []
+        # Heap entries are (time, class, seq, kind, q, payload): class 0
+        # is an arrival (seq = stream position), class 1 everything else
+        # (seq = push counter).  Same total order the single-counter
+        # scheme produced when all arrivals were pushed up front — same-
+        # instant ties break arrivals-first in stream order, then
+        # everything else in push order — but it also holds when
+        # arrivals enter the heap lazily, which is what lets streaming
+        # mode keep O(1) arrivals in flight without perturbing record
+        # mode by a single event.
+        events: list[tuple[float, int, int, str, int, object]] = []
 
         def push(time: float, kind: str, q: int = -1, payload=None) -> None:
-            heapq.heappush(events, (time, next(counter), kind, q, payload))
+            heapq.heappush(events, (time, 1, next(counter), kind, q, payload))
 
         def start_ticks(now: float) -> None:
             # The tick chain is anchored at the first admission, matching
@@ -793,9 +924,45 @@ class FleetEngine:
             pool_index=0,
         )
         tracer = self.tracer
-        decisions: dict[int, tuple[int, bool | None, float, dict]] = {}
-        unfinished = len(stream)
+        decisions: dict[
+            int, tuple[QueryArrival, int, bool | None, float, dict]
+        ] = {}
+        total = 0
+        finished = 0
+        exhausted = True
         now = 0.0
+
+        if streaming is None:
+            stream = validate_stream(arrivals)
+            total = len(stream)
+            for pos, arrival in enumerate(stream):
+                heapq.heappush(
+                    events, (arrival.arrival_time, 0, pos, "arrive", pos, arrival)
+                )
+        else:
+            arrival_iter = iter(arrivals)
+            last_arrival_t = 0.0
+
+            def pull_arrival() -> None:
+                # Keep exactly one unprocessed arrival in the heap; the
+                # next is pulled when this one's arrive event fires.
+                nonlocal total, exhausted, last_arrival_t
+                for arrival in arrival_iter:
+                    t = arrival.arrival_time
+                    if t < last_arrival_t:
+                        raise ValueError(
+                            "streaming arrival streams must be time-ordered"
+                        )
+                    last_arrival_t = t
+                    heapq.heappush(events, (t, 0, total, "arrive", total, arrival))
+                    total += 1
+                    return
+                exhausted = True
+
+            exhausted = False
+            pull_arrival()
+            if total == 0:
+                raise ValueError("cannot serve an empty arrival stream")
 
         if tracer is not None:
             tracer.emit(
@@ -804,22 +971,18 @@ class FleetEngine:
                 )
             )
 
-        # --- bootstrap ---------------------------------------------------
-        for pos, arrival in enumerate(stream):
-            push(arrival.arrival_time, "arrive", pos)
-
         # --- main loop ---------------------------------------------------
         while events:
-            now, _, kind, q, payload = heapq.heappop(events)
+            now, _, _, kind, q, payload = heapq.heappop(events)
             if kind == "arrive":
-                arrival = stream[q]
+                arrival = payload
                 plan = self.workload.optimized_plan(arrival.query_id)
                 decision = self.allocator(arrival.query_id, plan)
                 budget, cached, seconds, estimate = decision_fields(
                     decision, self.capacity
                 )
                 notes = allocator_annotations(self.allocator, decision)
-                decisions[q] = (budget, cached, seconds, notes)
+                decisions[q] = (arrival, budget, cached, seconds, notes)
                 if tracer is not None:
                     tracer.emit(
                         TraceEvent(now, "query_arrive", 0, q, arrival.query_id)
@@ -842,32 +1005,35 @@ class FleetEngine:
                     )
                 delay = seconds if config.charge_prediction_overhead else 0.0
                 push(now + delay, "submit", q)
+                if not exhausted:
+                    pull_arrival()
             elif kind == "submit":
-                budget, cached, seconds, notes = decisions[q]
-                runtime.submit(
-                    now, q, stream[q], budget, cached, seconds, notes
-                )
+                arrival, budget, cached, seconds, notes = decisions.pop(q)
+                runtime.submit(now, q, arrival, budget, cached, seconds, notes)
             elif kind == "driver_done":
                 runtime.handle_driver_done(now, q)
             elif kind == "exec_arrive":
                 runtime.handle_exec_arrive(now, q)
             elif kind == "task_done":
                 if runtime.handle_task_done(now, q, payload):
-                    unfinished -= 1
+                    finished += 1
             elif kind == "exec_fail":
                 runtime.handle_exec_fail(now, q, payload)
             elif kind == "tick":
                 runtime.on_tick(now)
-                if unfinished > 0:
+                if finished < total or not exhausted:
                     if not events:
                         # Stall guard: the tick chain is the only thing
                         # left, so no run will ever release or acquire
                         # capacity again.  Without this check the ticks
-                        # would spin forever.
-                        _raise_stalled(runtime.arbiter, unfinished)
+                        # would spin forever.  (Unreachable while the
+                        # arrival stream is live: its next arrive event
+                        # is in the heap.)
+                        _raise_stalled(runtime.arbiter, total - finished)
                     push(now + config.tick_interval, "tick")
 
-        if unfinished > 0:
+        if finished < total:
+            unfinished = total - finished
             if runtime.arbiter.queue_length > 0:
                 _raise_stalled(runtime.arbiter, unfinished)
             raise RuntimeError(
@@ -878,9 +1044,7 @@ class FleetEngine:
 
         if tracer is not None:
             tracer.emit(
-                TraceEvent(
-                    now, "serve_end", -1, -1, None, {"queries": len(stream)}
-                )
+                TraceEvent(now, "serve_end", -1, -1, None, {"queries": total})
             )
         return runtime.finalize()
 

@@ -18,24 +18,43 @@ executor-second is paid for, whether a query occupied it or not.
 the sharded-fleet view (:mod:`repro.fleet.cluster`): cluster-wide
 latency percentiles and queue delays over all served queries, plus
 summed occupancy, idle-capacity, and dollar costs.
+
+**Streaming mode.**  A record-backed :class:`FleetMetrics` is exact but
+O(n) memory per serve.  Under :attr:`FleetConfig.streaming
+<repro.fleet.engine.FleetConfig>` the fleet drivers instead fold each
+finished query into a :class:`PoolStreamStats` — latency/queue-delay
+distributions in :class:`~repro.obs.sketch.QuantileSketch` histograms,
+occupancy/billing/fault totals in incremental accumulators, and the
+pool/capacity skylines reduced to O(1) :class:`SkylineTracker` state —
+and every property below answers from that state instead of the (empty)
+record list.  Counts, sums, extrema, windows, and costs are exact;
+percentiles carry the sketch's relative-accuracy bound.  Records are
+opt-in via JSONL spooling (:meth:`QueryRecord.to_json` /
+:func:`read_spooled_records`).
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import IO, Iterable, Sequence
 
 import numpy as np
 
 from repro.engine.faults import FaultStats
 from repro.engine.skyline import Skyline
+from repro.obs.metrics import StreamingFleetStats
 from repro.sparklens.log import ExecutionLog
 
 __all__ = [
     "DEFAULT_PRICE_PER_CORE_HOUR",
     "QueryRecord",
+    "SkylineTracker",
+    "PoolStreamStats",
     "FleetMetrics",
     "ClusterMetrics",
+    "read_spooled_records",
 ]
 
 #: Azure Synapse Spark pricing ballpark: $0.15 per vCore-hour.
@@ -110,6 +129,219 @@ class QueryRecord:
         """Execution seconds once admitted (admission → finish)."""
         return self.finish_time - self.admit_time
 
+    def to_json(self) -> str:
+        """One deterministic JSON object (fixed key order, compact) —
+        the spool-line format streaming serves write.
+
+        Scalars, annotations, and the fault ledger round-trip exactly;
+        the skyline and execution log are deliberately dropped (they are
+        the O(n)-memory payload streaming mode exists to avoid) and come
+        back as ``None`` from :meth:`from_json`.  Same conventions as
+        :meth:`repro.obs.trace.TraceEvent.to_json`.
+        """
+        return json.dumps(
+            {
+                "query_id": self.query_id,
+                "app_id": self.app_id,
+                "arrival_time": self.arrival_time,
+                "admit_time": self.admit_time,
+                "finish_time": self.finish_time,
+                "executors_granted": self.executors_granted,
+                "auc": self.auc,
+                "prediction_cached": self.prediction_cached,
+                "prediction_seconds": self.prediction_seconds,
+                "fault_stats": (
+                    None
+                    if self.fault_stats is None
+                    else self.fault_stats.as_dict()
+                ),
+                "annotations": self.annotations,
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "QueryRecord":
+        """Parse one :meth:`to_json` spool line back into a record."""
+        obj = json.loads(line)
+        fault = obj.get("fault_stats")
+        if fault is not None:
+            fault = FaultStats(
+                crashes=int(fault["crashes"]),
+                reclamations=int(fault["reclamations"]),
+                replacements=int(fault["replacements"]),
+                tasks_started=int(fault["tasks_started"]),
+                tasks_killed=int(fault["tasks_killed"]),
+                wasted_task_seconds=float(fault["wasted_task_seconds"]),
+                spot_executor_seconds=float(fault["spot_executor_seconds"]),
+                ondemand_executor_seconds=float(
+                    fault["ondemand_executor_seconds"]
+                ),
+                spot_discount=float(fault["spot_discount"]),
+            )
+        return cls(
+            query_id=obj["query_id"],
+            app_id=int(obj["app_id"]),
+            arrival_time=float(obj["arrival_time"]),
+            admit_time=float(obj["admit_time"]),
+            finish_time=float(obj["finish_time"]),
+            executors_granted=int(obj["executors_granted"]),
+            auc=float(obj["auc"]),
+            prediction_cached=obj.get("prediction_cached"),
+            prediction_seconds=float(obj.get("prediction_seconds", 0.0)),
+            fault_stats=fault,
+            annotations=obj.get("annotations") or {},
+        )
+
+
+def read_spooled_records(
+    path_or_file: str | os.PathLike | IO[str] | Iterable[str],
+) -> list[QueryRecord]:
+    """Load a streaming serve's JSONL record spool, file order.
+
+    Accepts a path (one pool's ``pool_<i>.jsonl`` spool file) or any
+    iterable of lines; mirrors :func:`repro.obs.trace.read_jsonl`.
+    """
+    if isinstance(path_or_file, (str, os.PathLike)):
+        with open(path_or_file, encoding="utf-8") as handle:
+            return [
+                QueryRecord.from_json(line) for line in handle if line.strip()
+            ]
+    return [
+        QueryRecord.from_json(line) for line in path_or_file if line.strip()
+    ]
+
+
+class SkylineTracker:
+    """O(1) streaming stand-in for a recorded :class:`Skyline`.
+
+    A full skyline keeps every ``(time, count)`` step — one per grant or
+    release, unbounded over a long serve.  The streaming serve only ever
+    needs four derived quantities (running integral, current step, peak,
+    and windowed area), so the tracker folds each step into those as it
+    happens and keeps nothing else.
+
+    The windowed-area shortcut in :meth:`window_auc` assumes the tracked
+    value is still ``initial`` at ``start`` — true for both uses here:
+    pool usage is zero until the first admission (≥ the first arrival,
+    which opens every serving window) and provisioned capacity first
+    moves on a tick, which is anchored at the first admission.
+    """
+
+    __slots__ = ("initial", "last_time", "last_value", "integral", "peak")
+
+    def __init__(self, time: float = 0.0, value: int = 0) -> None:
+        self.initial = int(value)
+        self.last_time = float(time)
+        self.last_value = int(value)
+        self.integral = 0.0
+        self.peak = int(value)
+
+    def record(self, time: float, value: int) -> None:
+        """Fold one step in (times must be non-decreasing)."""
+        self.integral += self.last_value * (time - self.last_time)
+        self.last_time = float(time)
+        self.last_value = int(value)
+        if value > self.peak:
+            self.peak = int(value)
+
+    def auc_to(self, time: float) -> float:
+        """Area under the step function from 0 to ``time`` (an instant
+        at or after the last recorded step)."""
+        return self.integral + self.last_value * (time - self.last_time)
+
+    def window_auc(self, start: float, end: float) -> float:
+        """Area over ``[start, end]`` (see the class note for when the
+        ``initial``-value shortcut at ``start`` is valid)."""
+        if end <= start:
+            return 0.0
+        return self.auc_to(end) - self.initial * start
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SkylineTracker):
+            return NotImplemented
+        return (
+            self.initial == other.initial
+            and self.last_time == other.last_time
+            and self.last_value == other.last_value
+            and self.integral == other.integral
+            and self.peak == other.peak
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SkylineTracker(last={self.last_value}@{self.last_time}, "
+            f"peak={self.peak}, integral={self.integral})"
+        )
+
+
+class PoolStreamStats(StreamingFleetStats):
+    """One pool's O(1)-memory serving state for a streaming serve.
+
+    Extends :class:`~repro.obs.metrics.StreamingFleetStats` (latency /
+    queue-delay / run-seconds sketches, counts, window extrema) with the
+    pool-level accumulators a :class:`FleetMetrics` needs to answer its
+    full surface without records: the usage and capacity trackers, the
+    billed-occupancy total, the incrementally merged fault ledger, and
+    the running capacity-invariant check.
+
+    Fold order is finish order, so two serves that finish queries in the
+    same order produce bit-identical state — the multiprocess merge
+    contract (:mod:`repro.fleet.parallel`) rests on this.
+    """
+
+    def __init__(self, relative_accuracy: float = 0.01) -> None:
+        super().__init__(relative_accuracy)
+        self.usage = SkylineTracker()
+        self.capacity: SkylineTracker | None = None
+        self.capacity_ok = True
+        self.billed_occupancy_seconds = 0.0
+        self.fault: FaultStats | None = None
+
+    def observe(self, record: QueryRecord) -> None:
+        """Fold one finished query in (latency sketches via the base
+        class, then the pool-billing and fault accumulators)."""
+        super().observe(record)
+        stats = record.fault_stats
+        if stats is None:
+            self.billed_occupancy_seconds += record.auc
+        else:
+            self.billed_occupancy_seconds += stats.billed_executor_seconds
+            acc = self.fault
+            if acc is None:
+                acc = self.fault = FaultStats()
+            acc.crashes += stats.crashes
+            acc.reclamations += stats.reclamations
+            acc.replacements += stats.replacements
+            acc.tasks_started += stats.tasks_started
+            acc.tasks_killed += stats.tasks_killed
+            acc.wasted_task_seconds += stats.wasted_task_seconds
+            acc.spot_executor_seconds += stats.spot_executor_seconds
+            acc.ondemand_executor_seconds += stats.ondemand_executor_seconds
+            if stats.spot_discount != 1.0:
+                acc.spot_discount = stats.spot_discount
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PoolStreamStats):
+            return NotImplemented
+        return (
+            self.relative_accuracy == other.relative_accuracy
+            and self.latency == other.latency
+            and self.queue_delay == other.queue_delay
+            and self.run_seconds == other.run_seconds
+            and self.n_queries == other.n_queries
+            and self.total_executor_seconds == other.total_executor_seconds
+            and self.prediction_hits == other.prediction_hits
+            and self.prediction_decisions == other.prediction_decisions
+            and self.first_arrival == other.first_arrival
+            and self.last_finish == other.last_finish
+            and self.usage == other.usage
+            and self.capacity == other.capacity
+            and self.capacity_ok == other.capacity_ok
+            and self.billed_occupancy_seconds == other.billed_occupancy_seconds
+            and self.fault == other.fault
+        )
+
 
 def _latency_percentile(records: Sequence[QueryRecord], q: float) -> float:
     if not records:
@@ -170,6 +402,12 @@ class FleetMetrics:
             standalone pool) falls back to this pool's own first-arrival
             → last-finish span.
         price_per_core_hour: billing rate for the dollar-cost metrics.
+        stats: the pool's :class:`PoolStreamStats` when the serve ran in
+            streaming mode — ``records`` is then empty and every
+            property below answers from the bounded-memory accumulators
+            instead (percentiles become sketch estimates within the
+            configured relative accuracy; totals, windows, and costs
+            stay exact).  ``None`` for record-backed metrics.
     """
 
     capacity: int
@@ -179,6 +417,7 @@ class FleetMetrics:
     capacity_skyline: Skyline | None = None
     serving_window: tuple[float, float] | None = None
     price_per_core_hour: float = DEFAULT_PRICE_PER_CORE_HOUR
+    stats: PoolStreamStats | None = None
     _fault_stats: FaultStats | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -186,20 +425,32 @@ class FleetMetrics:
     def _window(self) -> tuple[float, float]:
         if self.serving_window is not None:
             return self.serving_window
+        if self.stats is not None:
+            if self.stats.first_arrival is None:
+                return (0.0, 0.0)
+            return (self.stats.first_arrival, self.stats.last_finish)
         return _serving_window(self.records)
 
     @property
     def n_queries(self) -> int:
+        if self.stats is not None:
+            return self.stats.n_queries
         return len(self.records)
 
     @property
     def makespan(self) -> float:
         """First arrival to last completion."""
+        if self.stats is not None:
+            return self.stats.makespan
         start, end = _serving_window(self.records)
         return end - start
 
     def latency_percentile(self, q: float) -> float:
-        """The ``q``-th percentile of end-to-end query latency."""
+        """The ``q``-th percentile of end-to-end query latency (a
+        sketch estimate within ``relative_accuracy`` in streaming
+        mode)."""
+        if self.stats is not None:
+            return self.stats.latency.quantile(q)
         return _latency_percentile(self.records, q)
 
     @property
@@ -216,15 +467,21 @@ class FleetMetrics:
 
     @property
     def mean_queue_delay(self) -> float:
+        if self.stats is not None:
+            return self.stats.queue_delay.mean
         return _mean_queue_delay(self.records)
 
     @property
     def max_queue_delay(self) -> float:
+        if self.stats is not None:
+            return self.stats.queue_delay.max or 0.0
         return _max_queue_delay(self.records)
 
     @property
     def peak_pool_usage(self) -> int:
         """Most executors ever reserved at one instant."""
+        if self.stats is not None:
+            return self.stats.usage.peak
         return self.pool_skyline.max_executors
 
     @property
@@ -233,8 +490,12 @@ class FleetMetrics:
 
         With a time-varying capacity skyline the check is pointwise:
         reserved capacity must sit at or below provisioned capacity at
-        every step of either skyline.
+        every step of either skyline.  A streaming serve makes the same
+        pointwise check online, at every usage step, and reports the
+        accumulated verdict.
         """
+        if self.stats is not None:
+            return self.stats.capacity_ok
         if self.capacity_skyline is None:
             return self.peak_pool_usage <= self.capacity
         return all(
@@ -249,6 +510,8 @@ class FleetMetrics:
     def total_executor_seconds(self) -> float:
         """Summed executor occupancy across all queries (the paper's AUC
         cost metric, fleet-wide)."""
+        if self.stats is not None:
+            return self.stats.total_executor_seconds
         return sum(r.auc for r in self.records)
 
     @property
@@ -258,6 +521,8 @@ class FleetMetrics:
         start, end = self._window()
         if end <= start:
             return 0.0
+        if self.stats is not None and self.stats.capacity is not None:
+            return self.stats.capacity.window_auc(start, end)
         if self.capacity_skyline is None:
             return self.capacity * (end - start)
         return self.capacity_skyline.auc(end) - self.capacity_skyline.auc(start)
@@ -270,6 +535,8 @@ class FleetMetrics:
         start, end = self._window()
         if end <= start:
             return 0.0
+        if self.stats is not None:
+            return self.stats.usage.window_auc(start, end)
         return self.pool_skyline.auc(end) - self.pool_skyline.auc(start)
 
     @property
@@ -283,7 +550,10 @@ class FleetMetrics:
         arrived yet, so occupancy plus this term bills every provisioned
         executor-second.
         """
-        if self.capacity_skyline is None:
+        if self.stats is not None:
+            if self.stats.capacity is None:
+                return 0.0
+        elif self.capacity_skyline is None:
             return 0.0
         return max(
             0.0, self.provisioned_executor_seconds - self.total_executor_seconds
@@ -300,6 +570,9 @@ class FleetMetrics:
         ``describe()`` — which read several ledger fields each — merge
         once instead of once per field.
         """
+        if self.stats is not None:
+            found = self.stats.fault
+            return FaultStats() if found is None else found
         if self._fault_stats is None:
             self._fault_stats = FaultStats.merged(
                 r.fault_stats for r in self.records if r.fault_stats is not None
@@ -339,6 +612,8 @@ class FleetMetrics:
         bit); queries served under a fault plan bill their classified
         on-demand seconds plus spot seconds at the spot discount.
         """
+        if self.stats is not None:
+            return self.stats.billed_occupancy_seconds
         total = 0.0
         for r in self.records:
             if r.fault_stats is None:
@@ -402,19 +677,29 @@ class FleetMetrics:
 
     def prediction_cache_hit_rate(self) -> float:
         """Fraction of predictive decisions served from the memo cache."""
+        if self.stats is not None:
+            return self.stats.prediction_cache_hit_rate()
         return _cache_hit_rate(self.records)
 
     def streaming(self, relative_accuracy: float = 0.01):
-        """Fold the records into bounded-memory streaming stats.
+        """The bounded-memory streaming view of this run.
 
-        Returns a :class:`repro.obs.metrics.StreamingFleetStats` whose
-        percentiles are sketch estimates within ``relative_accuracy`` of
-        the exact sorted-record values this object reports.  Local
-        import — :mod:`repro.obs` is an optional layer on top of the
-        fleet, not a dependency of it.
+        A streaming serve already holds it — its :attr:`stats` is
+        returned directly (``relative_accuracy`` must match the serve's:
+        a sketch cannot be re-bucketed after the fact).  A record-backed
+        run folds its records into a fresh
+        :class:`~repro.obs.metrics.StreamingFleetStats` whose percentile
+        estimates are within ``relative_accuracy`` of the exact
+        sorted-record values this object reports.
         """
-        from repro.obs.metrics import StreamingFleetStats
-
+        if self.stats is not None:
+            if relative_accuracy != self.stats.relative_accuracy:
+                raise ValueError(
+                    "a streaming serve's sketch accuracy is fixed at serve "
+                    f"time ({self.stats.relative_accuracy}); it cannot be "
+                    "re-bucketed afterwards"
+                )
+            return self.stats
         return StreamingFleetStats.from_records(
             self.records, relative_accuracy=relative_accuracy
         )
@@ -464,7 +749,12 @@ class FleetMetrics:
             f"provisioned cost      ${s['provisioned_dollar_cost']:9.2f}",
             f"prediction cache hit  {s['prediction_cache_hit_rate']:10.1%}",
         ]
-        if any(r.fault_stats is not None for r in self.records):
+        faulted = (
+            self.stats.fault is not None
+            if self.stats is not None
+            else any(r.fault_stats is not None for r in self.records)
+        )
+        if faulted:
             stats = self.fault_stats
             lines += [
                 f"executor failures     {stats.crashes} crashes, "
@@ -486,8 +776,13 @@ class ClusterMetrics:
     Attributes:
         pools: per-pool :class:`FleetMetrics`, pool-index order.
         records: every served query's :class:`QueryRecord`, arrival-stream
-            order, across all pools.
-        pool_of: parallel to ``records`` — which pool served each query.
+            order, across all pools.  Empty for a streaming serve — the
+            cluster-wide distributions then come from merging the pools'
+            :class:`PoolStreamStats` (sketch merge is associative and
+            commutative, so the roll-up matches what any grouping of the
+            shards would produce).
+        pool_of: parallel to ``records`` — which pool served each query
+            (empty for a streaming serve).
         price_per_core_hour: billing rate (pools carry their own copy;
             this one prices nothing, it is echoed for reporting).
     """
@@ -496,6 +791,24 @@ class ClusterMetrics:
     records: list[QueryRecord] = field(default_factory=list)
     pool_of: list[int] = field(default_factory=list)
     price_per_core_hour: float = DEFAULT_PRICE_PER_CORE_HOUR
+    _merged_stats: StreamingFleetStats | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _stats(self) -> StreamingFleetStats | None:
+        """The pools' merged streaming stats (``None`` when this is a
+        record-backed run).  Merged once, pool-index order, memoized."""
+        if not self.records and any(p.stats is not None for p in self.pools):
+            if self._merged_stats is None:
+                merged = None
+                for pool in self.pools:
+                    if merged is None:
+                        merged = pool.stats
+                    else:
+                        merged = merged.merge(pool.stats)
+                self._merged_stats = merged
+            return self._merged_stats
+        return None
 
     @property
     def n_pools(self) -> int:
@@ -503,14 +816,23 @@ class ClusterMetrics:
 
     @property
     def n_queries(self) -> int:
+        stats = self._stats()
+        if stats is not None:
+            return stats.n_queries
         return len(self.records)
 
     @property
     def makespan(self) -> float:
+        stats = self._stats()
+        if stats is not None:
+            return stats.makespan
         start, end = _serving_window(self.records)
         return end - start
 
     def latency_percentile(self, q: float) -> float:
+        stats = self._stats()
+        if stats is not None:
+            return stats.latency.quantile(q)
         return _latency_percentile(self.records, q)
 
     @property
@@ -527,10 +849,16 @@ class ClusterMetrics:
 
     @property
     def mean_queue_delay(self) -> float:
+        stats = self._stats()
+        if stats is not None:
+            return stats.queue_delay.mean
         return _mean_queue_delay(self.records)
 
     @property
     def max_queue_delay(self) -> float:
+        stats = self._stats()
+        if stats is not None:
+            return stats.queue_delay.max or 0.0
         return _max_queue_delay(self.records)
 
     @property
@@ -609,13 +937,17 @@ class ClusterMetrics:
         return reserved / provisioned
 
     def prediction_cache_hit_rate(self) -> float:
+        stats = self._stats()
+        if stats is not None:
+            return stats.prediction_cache_hit_rate()
         return _cache_hit_rate(self.records)
 
     def streaming(self, relative_accuracy: float = 0.01):
         """Cluster-wide streaming stats: each pool folded, then merged —
-        the associative-merge path a distributed collector would take."""
-        from repro.obs.metrics import StreamingFleetStats
-
+        the associative-merge path a distributed collector would take.
+        A streaming serve returns its already-merged pool stats (the
+        accuracy must match the serve's, as with
+        :meth:`FleetMetrics.streaming`)."""
         merged = StreamingFleetStats(relative_accuracy=relative_accuracy)
         for pool in self.pools:
             merged = merged.merge(pool.streaming(relative_accuracy))
@@ -667,7 +999,13 @@ class ClusterMetrics:
             f"provisioned cost      ${s['provisioned_dollar_cost']:9.2f}",
             f"prediction cache hit  {s['prediction_cache_hit_rate']:10.1%}",
         ]
-        if any(r.fault_stats is not None for pool in self.pools for r in pool.records):
+        faulted = any(
+            pool.stats.fault is not None
+            if pool.stats is not None
+            else any(r.fault_stats is not None for r in pool.records)
+            for pool in self.pools
+        )
+        if faulted:
             stats = self.fault_stats
             lines += [
                 f"executor failures     {stats.crashes} crashes, "

@@ -98,9 +98,18 @@ class RoutingRequest:
 
 
 class Router(Protocol):
-    """Chooses the pool that serves a query."""
+    """Chooses the pool that serves a query.
+
+    ``uses_pool_state`` declares whether :meth:`pick` reads the live
+    :class:`PoolView` snapshots.  Routers that ignore them (round-robin)
+    can be driven by a parent process that holds no pool state at all —
+    the precondition :class:`~repro.fleet.parallel.ProcessShardExecutor`
+    checks before fanning pools out to workers.  Policies that omit the
+    attribute are conservatively assumed to use pool state.
+    """
 
     name: str
+    uses_pool_state: bool
 
     def pick(self, request: RoutingRequest, pools: Sequence[PoolView]) -> int:
         """Return the index of the pool to submit ``request`` to."""
@@ -111,6 +120,7 @@ class RoundRobinRouter:
     """Cycle through pools in index order, ignoring load."""
 
     name = "round_robin"
+    uses_pool_state = False
 
     def __init__(self) -> None:
         self._next = 0
@@ -134,6 +144,7 @@ class LeastQueuedRouter:
     """
 
     name = "least_queued"
+    uses_pool_state = True
 
     def pick(self, request: RoutingRequest, pools: Sequence[PoolView]) -> int:
         return min(
@@ -166,6 +177,7 @@ class CostAwareRouter:
     """
 
     name = "cost_aware"
+    uses_pool_state = True
 
     def pick(self, request: RoutingRequest, pools: Sequence[PoolView]) -> int:
         estimate = request.runtime_estimate

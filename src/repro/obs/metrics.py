@@ -220,6 +220,26 @@ class StreamingFleetStats:
         out.last_finish = max(finishes) if finishes else None
         return out
 
+    def __eq__(self, other: object) -> bool:
+        # Exact state equality — the multiprocess-merge determinism
+        # contract is asserted with this, so every accumulator counts.
+        if type(other) is not type(self):
+            return NotImplemented
+        return (
+            self.relative_accuracy == other.relative_accuracy
+            and self.latency == other.latency
+            and self.queue_delay == other.queue_delay
+            and self.run_seconds == other.run_seconds
+            and self.n_queries == other.n_queries
+            and self.total_executor_seconds == other.total_executor_seconds
+            and self.prediction_hits == other.prediction_hits
+            and self.prediction_decisions == other.prediction_decisions
+            and self.first_arrival == other.first_arrival
+            and self.last_finish == other.last_finish
+        )
+
+    __hash__ = None  # mutable accumulator
+
     @property
     def makespan(self) -> float:
         """First arrival to last completion (exact)."""

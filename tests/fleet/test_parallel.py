@@ -1,0 +1,258 @@
+"""ProcessShardExecutor: multiprocess merge must equal the
+single-process sharded serve bit for bit, per the determinism contract
+in :mod:`repro.fleet.parallel`."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.faults import FaultPlan, SpotMarket
+from repro.fleet import (
+    FleetConfig,
+    LeastQueuedRouter,
+    PoolSpec,
+    ProcessShardExecutor,
+    QueryArrival,
+    ShardedFleet,
+    StreamingConfig,
+    poisson_arrivals,
+    read_spooled_records,
+    static_allocator,
+)
+from repro.workloads.generator import Workload
+
+QIDS = ("q1", "q2", "q3", "q5", "q94")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload(scale_factor=50, query_ids=QIDS)
+
+
+def assert_identical_record_mode(multi, single):
+    assert multi.pool_of == single.pool_of
+    assert len(multi.records) == len(single.records)
+    for got, want in zip(multi.records, single.records):
+        assert got == want
+    for got, want in zip(multi.pools, single.pools):
+        assert got.serving_window == want.serving_window
+    assert multi.summary() == single.summary()
+
+
+class TestRestrictions:
+    def test_autoscaled_pool_rejected(self, workload):
+        from repro.fleet.autoscaler import AutoscalerConfig
+
+        spec = PoolSpec(
+            capacity=8,
+            autoscaler=AutoscalerConfig(min_capacity=4, max_capacity=32),
+        )
+        with pytest.raises(ValueError, match="autoscaled"):
+            ProcessShardExecutor(workload, [spec, 16], static_allocator(4))
+
+    def test_stateful_router_rejected(self, workload):
+        with pytest.raises(ValueError, match="pool state"):
+            ProcessShardExecutor(
+                workload,
+                [16, 16],
+                static_allocator(4),
+                router=LeastQueuedRouter(),
+            )
+
+    def test_bad_batch_size_rejected(self, workload):
+        with pytest.raises(ValueError, match="batch_size"):
+            ProcessShardExecutor(
+                workload, [16, 16], static_allocator(4), batch_size=0
+            )
+
+    def test_no_pools_rejected(self, workload):
+        with pytest.raises(ValueError, match="at least one pool"):
+            ProcessShardExecutor(workload, [], static_allocator(4))
+
+    def test_out_of_order_arrivals_rejected(self, workload):
+        executor = ProcessShardExecutor(workload, [16, 16], static_allocator(4))
+        arrivals = [
+            QueryArrival(0, "q1", 0, 5.0),
+            QueryArrival(1, "q1", 0, 1.0),
+        ]
+        with pytest.raises(ValueError, match="time-ordered"):
+            executor.serve(arrivals)
+
+    def test_empty_stream_rejected(self, workload):
+        executor = ProcessShardExecutor(workload, [16, 16], static_allocator(4))
+        with pytest.raises(ValueError, match="empty"):
+            executor.serve([])
+
+
+class TestMergeEqualsSingleProcess:
+    def test_record_mode_bit_for_bit(self, workload):
+        arrivals = poisson_arrivals(QIDS, n_queries=200, rate_qps=2.0, seed=7)
+        single = ShardedFleet(
+            workload, [16, 16, 16], static_allocator(8)
+        ).serve(arrivals)
+        multi = ProcessShardExecutor(
+            workload, [16, 16, 16], static_allocator(8)
+        ).serve(arrivals)
+        assert_identical_record_mode(multi, single)
+
+    def test_small_batches_change_nothing(self, workload):
+        arrivals = poisson_arrivals(QIDS, n_queries=60, rate_qps=1.5, seed=3)
+        single = ShardedFleet(workload, [16, 24], static_allocator(8)).serve(
+            arrivals
+        )
+        multi = ProcessShardExecutor(
+            workload, [16, 24], static_allocator(8), batch_size=7
+        ).serve(arrivals)
+        assert_identical_record_mode(multi, single)
+
+    def test_streaming_stats_bit_for_bit(self, workload):
+        arrivals = poisson_arrivals(QIDS, n_queries=200, rate_qps=2.0, seed=7)
+        config = FleetConfig(streaming=True)
+        single = ShardedFleet(
+            workload, [16, 16, 16], static_allocator(8), config=config
+        ).serve(iter(arrivals))
+        multi = ProcessShardExecutor(
+            workload, [16, 16, 16], static_allocator(8), config=config
+        ).serve(arrivals)
+        assert multi.records == [] and single.records == []
+        for got, want in zip(multi.pools, single.pools):
+            assert got.stats == want.stats
+            assert got.serving_window == want.serving_window
+        assert multi.summary() == single.summary()
+
+    def test_fault_plan_bit_for_bit(self, workload):
+        plan = FaultPlan(
+            seed=5,
+            crash_rate=1 / 5000.0,
+            straggler_rate=0.05,
+            spot=SpotMarket(fraction=0.5, discount=0.35, reclaim_rate=1 / 2000.0),
+        )
+        config = FleetConfig(faults=plan)
+        arrivals = poisson_arrivals(QIDS, n_queries=100, rate_qps=1.0, seed=13)
+        single = ShardedFleet(
+            workload, [16, 16], static_allocator(8), config=config
+        ).serve(arrivals)
+        multi = ProcessShardExecutor(
+            workload, [16, 16], static_allocator(8), config=config
+        ).serve(arrivals)
+        assert_identical_record_mode(multi, single)
+        assert multi.fault_stats.crashes == single.fault_stats.crashes
+        assert multi.fault_stats.reclamations == single.fault_stats.reclamations
+
+    def test_worker_spools_match_parent_records(self, workload, tmp_path):
+        arrivals = poisson_arrivals(QIDS, n_queries=60, rate_qps=1.0, seed=2)
+        single = ShardedFleet(workload, [16, 16], static_allocator(8)).serve(
+            arrivals
+        )
+        config = FleetConfig(
+            streaming=StreamingConfig(spool_dir=tmp_path / "spool")
+        )
+        ProcessShardExecutor(
+            workload, [16, 16], static_allocator(8), config=config
+        ).serve(arrivals)
+        spooled = []
+        for name in ("pool_000.jsonl", "pool_001.jsonl"):
+            spooled.extend(read_spooled_records(tmp_path / "spool" / name))
+        assert len(spooled) == 60
+        by_key = {(r.query_id, r.arrival_time): r for r in single.records}
+        for record in spooled:
+            assert record.finish_time == by_key[
+                (record.query_id, record.arrival_time)
+            ].finish_time
+
+    def test_worker_failure_propagates(self, workload):
+        class ExplodingWorkload:
+            """Pickles fine, blows up inside the worker."""
+
+            def __init__(self, inner):
+                self._inner = inner
+
+            def optimized_plan(self, query_id):
+                return self._inner.optimized_plan(query_id)
+
+            def stage_graph(self, query_id):
+                raise RuntimeError("boom in worker")
+
+        executor = ProcessShardExecutor(
+            ExplodingWorkload(workload), [16], static_allocator(4)
+        )
+        arrivals = poisson_arrivals(QIDS, n_queries=5, rate_qps=1.0, seed=1)
+        with pytest.raises(RuntimeError, match="boom in worker"):
+            executor.serve(arrivals)
+
+class TestInProcessDrive:
+    """Run the worker loop in-process (plain queues, no fork) — the same
+    code path the subprocess runs, but visible to debuggers and to
+    coverage measurement, which cannot see into forked children."""
+
+    def _drive(self, executor, arrivals):
+        import queue
+
+        from repro.fleet.parallel import _drive_shard
+
+        feeds = [queue.Queue() for _ in range(executor.n_pools)]
+        pool_of, placed_qs, total = executor._dispatch(arrivals, feeds)
+        metrics_by_pool = [
+            _drive_shard(
+                feeds[i],
+                i,
+                executor.workload,
+                executor.pools[i],
+                executor.cluster,
+                executor.config,
+            )
+            for i in range(executor.n_pools)
+        ]
+        return executor._assemble(metrics_by_pool, pool_of, placed_qs, total)
+
+    def test_record_mode(self, workload):
+        arrivals = poisson_arrivals(QIDS, n_queries=80, rate_qps=1.5, seed=17)
+        single = ShardedFleet(workload, [16, 16], static_allocator(8)).serve(
+            arrivals
+        )
+        multi = self._drive(
+            ProcessShardExecutor(workload, [16, 16], static_allocator(8)),
+            arrivals,
+        )
+        assert_identical_record_mode(multi, single)
+
+    def test_streaming_mode(self, workload):
+        config = FleetConfig(streaming=True)
+        arrivals = poisson_arrivals(QIDS, n_queries=80, rate_qps=1.5, seed=17)
+        single = ShardedFleet(
+            workload, [16, 16], static_allocator(8), config=config
+        ).serve(iter(arrivals))
+        multi = self._drive(
+            ProcessShardExecutor(
+                workload, [16, 16], static_allocator(8), config=config
+            ),
+            arrivals,
+        )
+        for got, want in zip(multi.pools, single.pools):
+            assert got.stats == want.stats
+        assert multi.summary() == single.summary()
+
+
+class TestMergeProperty:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_queries=st.integers(min_value=4, max_value=40),
+        n_pools=st.integers(min_value=1, max_value=4),
+        budget=st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_merge_equals_single_process_property(
+        self, seed, n_queries, n_pools, budget
+    ):
+        workload = Workload(scale_factor=50, query_ids=QIDS)
+        arrivals = poisson_arrivals(
+            QIDS, n_queries=n_queries, rate_qps=1.0, seed=seed
+        )
+        pools = [16] * n_pools
+        single = ShardedFleet(
+            workload, pools, static_allocator(budget)
+        ).serve(arrivals)
+        multi = ProcessShardExecutor(
+            workload, pools, static_allocator(budget)
+        ).serve(arrivals)
+        assert_identical_record_mode(multi, single)

@@ -303,6 +303,133 @@ class TestFleetGate:
         assert "capacity invariant violated" in proc.stderr
 
 
+def scale_json(
+    throughput=4000.0,
+    under_rss=True,
+    under_heap=True,
+    exact=True,
+    within_bound=True,
+    mp_identical=True,
+):
+    return {
+        "schema": "repro-bench-scale/v1",
+        "machine": {"python": "3.11", "numpy": "2.0", "platform": "test"},
+        "params": {
+            "n_queries": 1_000_000,
+            "tracemalloc_queries": 100_000,
+            "parity_queries": 50_000,
+            "multiprocess_queries": 20_000,
+            "rate_qps": 30.0,
+            "pools": 4,
+            "pool_capacity": 48,
+            "budget": 2,
+            "seed": 0,
+            "rss_ceiling_mb": 192.0,
+            "heap_ceiling_mb": 16.0,
+        },
+        "scale": {
+            "n_queries": 1_000_000,
+            "wall_seconds": 1_000_000 / throughput,
+            "throughput_qps": throughput,
+            "peak_rss_mb": 44.0,
+            "peak_rss_before_mb": 30.0,
+            "rss_ceiling_mb": 192.0,
+            "under_rss_ceiling": under_rss,
+            "makespan_s": 33_000.0,
+        },
+        "tracemalloc": {
+            "n_queries": 100_000,
+            "peak_heap_mb": 0.6,
+            "heap_ceiling_mb": 16.0,
+            "under_heap_ceiling": under_heap,
+        },
+        "parity": {
+            "streaming": {
+                "n_queries": 50_000,
+                "exact_fields_equal": exact,
+                "percentiles_within_bound": within_bound,
+                "relative_accuracy": 0.01,
+            },
+            "multiprocess": {
+                "n_queries": 20_000,
+                "bit_identical": mp_identical,
+            },
+        },
+    }
+
+
+class TestScaleGate:
+    def test_equal_run_passes(self, tmp_path):
+        proc = run_gate(tmp_path, scale_json(), scale_json())
+        assert proc.returncode == 0, proc.stderr
+        assert "no benchmark regression" in proc.stdout
+
+    def test_rss_ceiling_break_fails(self, tmp_path):
+        proc = run_gate(tmp_path, scale_json(), scale_json(under_rss=False))
+        assert proc.returncode == 1
+        assert "O(1)-memory contract lost" in proc.stderr
+
+    def test_heap_ceiling_break_fails(self, tmp_path):
+        proc = run_gate(tmp_path, scale_json(), scale_json(under_heap=False))
+        assert proc.returncode == 1
+        assert "Python-heap leak" in proc.stderr
+
+    def test_lost_exact_parity_fails(self, tmp_path):
+        proc = run_gate(tmp_path, scale_json(), scale_json(exact=False))
+        assert proc.returncode == 1
+        assert "exact (non-percentile) field" in proc.stderr
+
+    def test_percentile_out_of_bound_fails(self, tmp_path):
+        proc = run_gate(tmp_path, scale_json(), scale_json(within_bound=False))
+        assert proc.returncode == 1
+        assert "rank-error" in proc.stderr
+
+    def test_lost_multiprocess_identity_fails(self, tmp_path):
+        proc = run_gate(tmp_path, scale_json(), scale_json(mp_identical=False))
+        assert proc.returncode == 1
+        assert "determinism contract lost" in proc.stderr
+
+    def test_throughput_regression_fails(self, tmp_path):
+        proc = run_gate(tmp_path, scale_json(4000.0), scale_json(3000.0))
+        assert proc.returncode == 1
+        assert "throughput regressed" in proc.stderr
+
+    def test_loose_tolerance_passes_slow_machine(self, tmp_path):
+        # CI invokes the scale gate with a loose --max-regression because
+        # wall clock is not hardware-normalized for this schema.
+        proc = run_gate(
+            tmp_path,
+            scale_json(4000.0),
+            scale_json(1800.0),
+            "--max-regression",
+            "0.6",
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_params_drift_fails(self, tmp_path):
+        drifted = scale_json()
+        drifted["params"]["rate_qps"] = 60.0
+        proc = run_gate(tmp_path, scale_json(), drifted)
+        assert proc.returncode == 1
+        assert "params drifted" in proc.stderr
+
+
+def test_checked_in_scale_baseline_is_valid():
+    data = json.loads(
+        (REPO_ROOT / "benchmarks" / "perf" / "baseline_scale.json").read_text(
+            encoding="utf-8"
+        )
+    )
+    assert data["schema"] == "repro-bench-scale/v1"
+    assert data["scale"]["n_queries"] == 1_000_000
+    assert data["scale"]["under_rss_ceiling"] is True
+    assert data["scale"]["peak_rss_mb"] <= data["scale"]["rss_ceiling_mb"]
+    assert data["tracemalloc"]["under_heap_ceiling"] is True
+    assert data["parity"]["streaming"]["exact_fields_equal"] is True
+    assert data["parity"]["streaming"]["percentiles_within_bound"] is True
+    assert data["parity"]["multiprocess"]["bit_identical"] is True
+
+
 @pytest.mark.parametrize("file", ["baseline.json"])
 def test_checked_in_baseline_is_valid(file):
     data = json.loads(

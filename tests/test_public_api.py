@@ -58,6 +58,9 @@ PUBLIC_MODULES = [
     "repro.fleet.engine",
     "repro.fleet.prediction",
     "repro.fleet.metrics",
+    "repro.fleet.routing",
+    "repro.fleet.cluster",
+    "repro.fleet.parallel",
     "repro.obs",
     "repro.obs.trace",
     "repro.obs.sketch",
