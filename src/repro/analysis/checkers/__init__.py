@@ -1,0 +1,38 @@
+"""Checker registry: one class per contract, instantiated per run.
+
+A checker sees every analyzed module once (:meth:`Checker.check_module`)
+and may report cross-module findings afterwards
+(:meth:`Checker.finalize` — how dead trace kinds are detected).
+Checkers are stateful within a run and never reused across runs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.checkers.heap_keys import HeapKeyChecker
+from repro.analysis.checkers.iteration_order import SetIterationChecker
+from repro.analysis.checkers.seeded_rng import SeededRngChecker
+from repro.analysis.checkers.streaming_retention import StreamingRetentionChecker
+from repro.analysis.checkers.trace_taxonomy import TraceTaxonomyChecker
+from repro.analysis.checkers.wall_clock import WallClockChecker
+
+#: Registration order is report order for same-line findings.
+ALL_CHECKERS: tuple[type[Checker], ...] = (
+    WallClockChecker,
+    SeededRngChecker,
+    HeapKeyChecker,
+    TraceTaxonomyChecker,
+    SetIterationChecker,
+    StreamingRetentionChecker,
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Checker",
+    "HeapKeyChecker",
+    "SeededRngChecker",
+    "SetIterationChecker",
+    "StreamingRetentionChecker",
+    "TraceTaxonomyChecker",
+    "WallClockChecker",
+]

@@ -1,0 +1,52 @@
+"""The checker contract shared by every rule."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import Finding, ModuleContext
+
+__all__ = ["Checker"]
+
+
+class Checker:
+    """One contract, checked over a run's modules.
+
+    Subclasses set :attr:`name` (the rule id used in findings, config
+    ``select``, and ``ignore[...]`` comments) and :attr:`description`
+    (one line, shown by ``--list-rules``), and implement
+    :meth:`check_module`; cross-module rules also override
+    :meth:`finalize`.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def __init__(self, config: AnalysisConfig, root: str = ".") -> None:
+        self.config = config
+        self.root = root
+
+    def check_module(self, ctx: ModuleContext) -> list[Finding]:
+        """Findings local to one module (called once per module)."""
+        raise NotImplementedError
+
+    def finalize(self) -> list[Finding]:
+        """Cross-module findings, after every module has been seen."""
+        return []
+
+    # --- shared helpers ---------------------------------------------------
+    def finding(
+        self, ctx: ModuleContext, node: ast.AST, message: str
+    ) -> Finding | None:
+        """Build a finding unless an inline comment waives it."""
+        line = getattr(node, "lineno", 1)
+        if ctx.is_suppressed(self.name, line):
+            return None
+        return Finding(
+            rule=self.name,
+            path=ctx.path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )

@@ -1,0 +1,80 @@
+"""``set-iteration``: no order-dependent arithmetic over unordered sets.
+
+CPython iterates a set in hash-table order, which for strings varies
+with ``PYTHONHASHSEED`` and for ints varies with insertion history.
+Inside the engine/fleet core, iteration feeds float accumulation and
+event scheduling, where order *is* the result: summing the same floats
+in two orders differs in the last ulp, and pushing events in two orders
+changes heap tie-breaking.  The parity suites only catch this when the
+divergence moves a gated number on the inputs they sample — so the rule
+bans the pattern outright in the configured modules: no ``for`` loop or
+comprehension may draw directly from a set literal, set comprehension,
+or ``set()``/``frozenset()`` call.  Normalize first: ``sorted(...)`` is
+the documented fix and passes the check.
+
+Membership tests, length checks, and set algebra are all fine — only
+*iteration* leaks the unordered order.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.config import module_matches
+from repro.analysis.core import Finding, ModuleContext
+
+__all__ = ["SetIterationChecker"]
+
+_SET_CALLS = frozenset({"set", "frozenset"})
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Whether the expression syntactically produces a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _SET_CALLS
+    ):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # Set algebra (| & - ^) over set operands is still a set.
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class SetIterationChecker(Checker):
+    name = "set-iteration"
+    description = (
+        "no iteration over set literals/comprehensions/set() calls in the "
+        "engine/fleet core; sort first (sorted(...))"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> list[Finding]:
+        if not module_matches(ctx.module, self.config.set_iteration_modules):
+            return []
+        findings: list[Finding] = []
+        for node in ctx.walk():
+            iters: list[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for candidate in iters:
+                if not _is_set_expr(candidate):
+                    continue
+                item = self.finding(
+                    ctx,
+                    candidate,
+                    "iteration over an unordered set in the simulation "
+                    f"core ({ctx.scope_of(node)}): hash order feeds the "
+                    "result here; iterate sorted(...) (or an ordered "
+                    "container) instead",
+                )
+                if item is not None:
+                    findings.append(item)
+        return findings

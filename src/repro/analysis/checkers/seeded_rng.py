@@ -1,0 +1,104 @@
+"""``unseeded-rng``: randomness flows from explicit seeds, never globals.
+
+The fault layer's determinism contract derives every draw from
+``(seed, stream position, entity id)`` via ``numpy.random.SeedSequence``
+— never from event interleaving or interpreter state.  A bare
+``random.random()`` or legacy ``np.random.normal()`` call breaks that in
+the worst possible way: the run still *looks* deterministic under one
+interleaving and silently diverges under another (xdist, multiprocess
+shards).  The rule:
+
+* stdlib ``random`` module-level draws are forbidden (``random.Random``
+  instances constructed *with* a seed are fine);
+* numpy's legacy global-state API (``np.random.<draw>``,
+  ``np.random.seed``) is forbidden — only the ``Generator`` API entry
+  points (``default_rng``, ``SeedSequence``, type references) are legal;
+* ``default_rng()`` / ``random.Random()`` *without* a seed argument are
+  forbidden — an unseeded generator is OS entropy by another name.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.config import module_matches
+from repro.analysis.core import Finding, ModuleContext
+
+__all__ = ["SeededRngChecker"]
+
+#: numpy.random names that are *not* global-state draws: constructors,
+#: types, and seeding machinery of the Generator API.
+_NP_RANDOM_OK = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+        "RandomState",  # referenced in type checks; calls are caught below
+    }
+)
+
+#: Constructors that take the seed as their first argument; calling them
+#: with no arguments asks the OS for entropy.
+_SEED_FIRST_ARG = frozenset({"numpy.random.default_rng", "random.Random"})
+
+
+class SeededRngChecker(Checker):
+    name = "unseeded-rng"
+    description = (
+        "no global-state RNG (random.*, legacy np.random.*) and no "
+        "unseeded default_rng()/Random() in library code"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> list[Finding]:
+        if not module_matches(ctx.module, self.config.rng_modules):
+            return []
+        findings: list[Finding] = []
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            qualname = ctx.resolve(node.func)
+            if qualname is None:
+                continue
+            message = self._classify(qualname, node)
+            if message is None:
+                continue
+            item = self.finding(ctx, node, message)
+            if item is not None:
+                findings.append(item)
+        return findings
+
+    def _classify(self, qualname: str, node: ast.Call) -> str | None:
+        parts = qualname.split(".")
+        if qualname in _SEED_FIRST_ARG:
+            if not node.args and not node.keywords:
+                return (
+                    f"{qualname}() without a seed draws OS entropy; pass an "
+                    "explicit seed or SeedSequence derived from the run's "
+                    "(seed, stream position, entity id) rule"
+                )
+            return None
+        if parts[:2] == ["numpy", "random"]:
+            if len(parts) == 2:
+                return None  # bare module reference (e.g. a type annotation)
+            if parts[2] in _NP_RANDOM_OK:
+                return None
+            return (
+                f"legacy global-state numpy RNG {qualname}(); use a "
+                "Generator from numpy.random.default_rng(seed) threaded in "
+                "as a parameter"
+            )
+        if parts[0] == "random" and len(parts) >= 2:
+            if parts[1] == "Random":
+                return None  # seeded instances handled above
+            return (
+                f"stdlib global-state RNG {qualname}(); draws must flow "
+                "from an explicit seeded generator parameter"
+            )
+        return None

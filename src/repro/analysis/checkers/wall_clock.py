@@ -1,0 +1,75 @@
+"""``wall-clock``: the simulation core may only read the event-loop clock.
+
+Bit-identical replay means every number a simulation produces must be a
+function of its inputs.  A ``time.time()`` / ``perf_counter()`` /
+``datetime.now()`` read inside the engine or fleet smuggles the host's
+wall clock into that function — results then vary with machine load, and
+the parity suites can only catch it if the variance happens to move a
+gated number.  The documented exceptions are the *measured-overhead*
+modules (prediction-service timings, export runtime, trainer fit times),
+which exist to measure real elapsed time and say so in their docstrings;
+they are allowlisted by module in
+:attr:`~repro.analysis.config.AnalysisConfig.wall_clock_allow_modules`.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.config import module_matches
+from repro.analysis.core import Finding, ModuleContext
+
+__all__ = ["WallClockChecker"]
+
+#: Fully qualified callables that read the host clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockChecker(Checker):
+    name = "wall-clock"
+    description = (
+        "no host-clock reads (time.*, datetime.now) inside the simulation "
+        "core; measured-overhead modules are allowlisted"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> list[Finding]:
+        cfg = self.config
+        if not module_matches(ctx.module, cfg.wall_clock_modules):
+            return []
+        if module_matches(ctx.module, cfg.wall_clock_allow_modules):
+            return []
+        findings: list[Finding] = []
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            qualname = ctx.resolve(node.func)
+            if qualname in _WALL_CLOCK_CALLS:
+                item = self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read {qualname}() in simulation module "
+                    f"{ctx.module} ({ctx.scope_of(node)}): results must be "
+                    "a function of the event-loop clock only; move the "
+                    "measurement to an allowlisted measured-overhead "
+                    "module or extend wall_clock_allow_modules",
+                )
+                if item is not None:
+                    findings.append(item)
+        return findings

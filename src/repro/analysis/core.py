@@ -1,0 +1,241 @@
+"""Visitor core: findings, parsed modules, imports, scopes, suppressions.
+
+Everything a checker needs that :mod:`ast` does not provide directly:
+
+* **parent links** — ``ctx.parent(node)`` for upward walks;
+* **import resolution** — ``ctx.resolve(node)`` maps an expression like
+  ``np.random.default_rng`` back to its fully qualified name
+  (``numpy.random.default_rng``) through the module's import aliases;
+* **scope attribution** — ``ctx.scope_of(node)`` names the enclosing
+  function/class chain (``PoolRuntime.finish``), so findings read like
+  tracebacks and allowlists can target one function;
+* **inline suppression** — a trailing ``# repro-analysis: ignore[rule]``
+  comment waives that line for the named rules (bare ``ignore`` waives
+  all of them), mirroring ``noqa`` so waivers are greppable.
+
+The module is self-contained and stdlib-only by design: the analysis
+package gates CI, so it must import in every environment the test matrix
+covers with nothing beyond the interpreter.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from typing import Iterator
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "parse_module",
+    "module_name_for",
+]
+
+#: ``# repro-analysis: ignore`` or ``# repro-analysis: ignore[a, b]``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-analysis:\s*ignore(?:\[(?P<rules>[\w\-, ]+)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: [rule] message`` — editor-clickable."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form for ``--format=json``."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a repo-relative file path.
+
+    ``src/repro/fleet/engine.py`` → ``repro.fleet.engine`` (the ``src``
+    layout root is stripped); ``benchmarks/perf/run_bench.py`` →
+    ``benchmarks.perf.run_bench``.  Nothing imports these names — they
+    exist so scope patterns in the config read like import paths.
+    """
+    norm = path.replace("\\", "/").strip("/")
+    parts = [p for p in norm.split("/") if p not in ("", ".")]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _suppressions(source: str) -> dict[int, frozenset[str] | None]:
+    """Map line number → waived rule names (``None`` = every rule).
+
+    Tokenized rather than regexed over raw lines so a suppression-shaped
+    string literal cannot silence a real finding.
+    """
+    table: dict[int, frozenset[str] | None] = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                table[tok.start[0]] = None
+            else:
+                names = frozenset(
+                    r.strip() for r in rules.split(",") if r.strip()
+                )
+                table[tok.start[0]] = names or None
+    except tokenize.TokenError:
+        # A file that does not tokenize will not parse either; the
+        # driver reports the SyntaxError, so there is nothing to do here.
+        pass
+    return table
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module plus the derived maps checkers consume."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+    #: local alias → fully qualified name (``np`` → ``numpy``,
+    #: ``perf_counter`` → ``time.perf_counter``).
+    imports: dict[str, str] = field(default_factory=dict)
+    suppressed: dict[int, frozenset[str] | None] = field(default_factory=dict)
+
+    # --- construction ----------------------------------------------------
+    @classmethod
+    def build(cls, path: str, source: str, module: str | None = None) -> "ModuleContext":
+        """Parse ``source`` and derive every map in one pass."""
+        tree = ast.parse(source, filename=path)
+        ctx = cls(
+            path=path,
+            module=module if module is not None else module_name_for(path),
+            source=source,
+            tree=tree,
+            suppressed=_suppressions(source),
+        )
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                ctx.parents[child] = parent
+        ctx._index_imports()
+        return ctx
+
+    def _index_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports never name stdlib/numpy
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{node.module}.{alias.name}"
+
+    # --- queries ---------------------------------------------------------
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The syntactic parent, or ``None`` for the module node."""
+        return self.parents.get(node)
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Fully qualified dotted name for a Name/Attribute chain.
+
+        Returns ``None`` when the base name is not an import alias — a
+        local variable, parameter, or anything else the table cannot
+        vouch for.  That makes the checkers conservative: they only flag
+        what provably refers to the forbidden module.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.imports.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    def scope_of(self, node: ast.AST) -> str:
+        """Dotted enclosing def/class chain, ``"<module>"`` at top level."""
+        names: list[str] = []
+        current: ast.AST | None = self.parents.get(node)
+        while current is not None:
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                names.append(current.name)
+            current = self.parents.get(current)
+        return ".".join(reversed(names)) if names else "<module>"
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        """Nearest enclosing class definition, if any."""
+        current: ast.AST | None = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, ast.ClassDef):
+                return current
+            current = self.parents.get(current)
+        return None
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether a trailing comment waives ``rule`` on ``line``."""
+        if line not in self.suppressed:
+            return False
+        rules = self.suppressed[line]
+        return rules is None or rule in rules
+
+    def walk(self) -> Iterator[ast.AST]:
+        """All nodes, document order (thin alias for ``ast.walk``)."""
+        return ast.walk(self.tree)
+
+
+def parse_module(
+    path: str, source: str | None = None, root: str | None = None
+) -> ModuleContext:
+    """Read (if needed) and parse one file into a :class:`ModuleContext`.
+
+    ``root`` anchors the dotted module name: the path is made relative
+    to it first, so scope patterns match identically whether the
+    analyzer is invoked with relative or absolute paths.
+    """
+    if source is None:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    name_path = path
+    if root is not None:
+        rel = os.path.relpath(path, root)
+        if not rel.startswith(".."):
+            name_path = rel
+    return ModuleContext.build(path, source, module=module_name_for(name_path))

@@ -1,0 +1,29 @@
+"""Fixture machinery for the analyzer's self-tests.
+
+Every checker test follows the same shape: a known-bad snippet that MUST
+be flagged and a known-good one that MUST pass, run through the
+``check_source`` fixture under a module name inside the rule's scope.
+The snippets are the executable spec of each contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import ModuleContext
+
+
+@pytest.fixture
+def check_source():
+    """Run one checker class over inline source; returns its findings."""
+
+    def _check(checker_cls, source, module, config=None, root="."):
+        cfg = config if config is not None else AnalysisConfig()
+        ctx = ModuleContext.build(f"fixture_{module}.py", source, module)
+        checker = checker_cls(cfg, root)
+        findings = checker.check_module(ctx)
+        findings.extend(checker.finalize())
+        return findings
+
+    return _check

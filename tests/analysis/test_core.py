@@ -1,0 +1,98 @@
+"""Unit spec for the visitor core: maps, resolution, suppressions."""
+
+import ast
+import textwrap
+
+from repro.analysis.core import ModuleContext, module_name_for
+
+SOURCE = textwrap.dedent(
+    """
+    import time
+    import numpy as np
+    from numpy.random import default_rng as make_rng
+
+    class Outer:
+        def method(self):
+            def inner():
+                return np.random.default_rng(0)
+            return inner
+    """
+)
+
+
+class TestModuleNameFor:
+    def test_src_layout_root_is_stripped(self):
+        assert module_name_for("src/repro/fleet/engine.py") == "repro.fleet.engine"
+
+    def test_package_init_names_the_package(self):
+        assert module_name_for("src/repro/obs/__init__.py") == "repro.obs"
+
+    def test_non_src_trees_keep_their_prefix(self):
+        assert (
+            module_name_for("benchmarks/perf/run_bench.py")
+            == "benchmarks.perf.run_bench"
+        )
+
+
+class TestResolution:
+    def test_aliases_resolve_through_the_import_table(self):
+        ctx = ModuleContext.build("m.py", SOURCE, "m")
+        assert ctx.imports["np"] == "numpy"
+        assert ctx.imports["time"] == "time"
+        assert ctx.imports["make_rng"] == "numpy.random.default_rng"
+
+    def test_attribute_chains_resolve_fully(self):
+        ctx = ModuleContext.build("m.py", SOURCE, "m")
+        call = next(
+            node
+            for node in ctx.walk()
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+        )
+        assert ctx.resolve(call.func) == "numpy.random.default_rng"
+
+    def test_locals_do_not_resolve(self):
+        ctx = ModuleContext.build("m.py", "def f(x):\n    return x.time()\n", "m")
+        call = next(node for node in ctx.walk() if isinstance(node, ast.Call))
+        assert ctx.resolve(call.func) is None
+
+    def test_scope_of_names_the_def_chain(self):
+        ctx = ModuleContext.build("m.py", SOURCE, "m")
+        call = next(node for node in ctx.walk() if isinstance(node, ast.Call))
+        assert ctx.scope_of(call) == "Outer.method.inner"
+
+    def test_module_level_scope(self):
+        ctx = ModuleContext.build("m.py", "x = int('3')\n", "m")
+        call = next(node for node in ctx.walk() if isinstance(node, ast.Call))
+        assert ctx.scope_of(call) == "<module>"
+
+
+class TestSuppressions:
+    def test_bare_ignore_waives_every_rule(self):
+        ctx = ModuleContext.build(
+            "m.py", "x = 1  # repro-analysis: ignore\n", "m"
+        )
+        assert ctx.is_suppressed("wall-clock", 1)
+        assert ctx.is_suppressed("heap-key", 1)
+
+    def test_named_ignore_waives_only_those_rules(self):
+        ctx = ModuleContext.build(
+            "m.py", "x = 1  # repro-analysis: ignore[heap-key, set-iteration]\n", "m"
+        )
+        assert ctx.is_suppressed("heap-key", 1)
+        assert ctx.is_suppressed("set-iteration", 1)
+        assert not ctx.is_suppressed("wall-clock", 1)
+
+    def test_string_literals_cannot_suppress(self):
+        # The marker lives in a string, not a comment: tokenization must
+        # not treat it as a waiver.
+        ctx = ModuleContext.build(
+            "m.py", 'x = "# repro-analysis: ignore"\n', "m"
+        )
+        assert not ctx.is_suppressed("wall-clock", 1)
+
+    def test_other_lines_are_untouched(self):
+        ctx = ModuleContext.build(
+            "m.py", "x = 1\ny = 2  # repro-analysis: ignore\n", "m"
+        )
+        assert not ctx.is_suppressed("wall-clock", 1)
+        assert ctx.is_suppressed("wall-clock", 2)

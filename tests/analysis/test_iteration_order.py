@@ -1,0 +1,70 @@
+"""Fixture spec for the ``set-iteration`` rule.
+
+Hash order must never feed float accumulation or event scheduling in
+the engine/fleet core; ``sorted(...)`` is the documented fix.
+"""
+
+import textwrap
+
+from repro.analysis.checkers import SetIterationChecker
+
+KNOWN_BAD = textwrap.dedent(
+    """
+    def drain(core, failed, alive):
+        total = 0.0
+        for eid in {e for e in failed}:        # set comprehension
+            total += core.wasted[eid]
+        for eid in failed | {0}:               # set algebra w/ set operand
+            core.kill(eid)
+        return [core.cost(e) for e in set(alive)]   # set() call
+    """
+)
+
+KNOWN_GOOD = textwrap.dedent(
+    """
+    def drain(core, failed, alive):
+        total = 0.0
+        for eid in sorted(failed):             # normalized order
+            total += core.wasted[eid]
+        if 3 in failed:                        # membership is fine
+            core.kill(3)
+        return [core.cost(e) for e in sorted(set(alive))]
+    """
+)
+
+
+class TestSetIteration:
+    def test_flags_known_bad(self, check_source):
+        findings = check_source(SetIterationChecker, KNOWN_BAD, "repro.engine.execution")
+        assert len(findings) == 3
+        assert {f.rule for f in findings} == {"set-iteration"}
+        assert "sorted(" in findings[0].message
+
+    def test_passes_known_good(self, check_source):
+        assert (
+            check_source(SetIterationChecker, KNOWN_GOOD, "repro.engine.execution")
+            == []
+        )
+
+    def test_set_algebra_needs_a_set_operand_to_flag(self, check_source):
+        # `a | b` over unknown names could be ints or dicts; only flag
+        # when one side is syntactically a set.
+        src = "def f(a, b):\n    for x in a | b:\n        pass\n"
+        assert check_source(SetIterationChecker, src, "repro.fleet.engine") == []
+
+    def test_out_of_scope_module_is_ignored(self, check_source):
+        assert check_source(SetIterationChecker, KNOWN_BAD, "repro.ml.tree") == []
+
+    def test_dict_and_list_iteration_is_fine(self, check_source):
+        src = textwrap.dedent(
+            """
+            def f(d, xs):
+                for k in d:
+                    pass
+                for v in d.values():
+                    pass
+                for x in xs:
+                    pass
+            """
+        )
+        assert check_source(SetIterationChecker, src, "repro.fleet.engine") == []

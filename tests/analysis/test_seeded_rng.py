@@ -1,0 +1,83 @@
+"""Fixture spec for the ``unseeded-rng`` rule.
+
+Randomness flows from explicit seeds threaded in as parameters —
+``(seed, stream position, entity id)`` via ``SeedSequence`` — never from
+interpreter-global RNG state.
+"""
+
+import textwrap
+
+from repro.analysis.checkers import SeededRngChecker
+
+KNOWN_BAD = textwrap.dedent(
+    """
+    import random
+    import numpy as np
+
+    def jitter(values):
+        random.shuffle(values)            # stdlib global state
+        noise = np.random.normal(0, 1)    # legacy numpy global state
+        rng = np.random.default_rng()     # OS entropy, unreproducible
+        return values, noise, rng
+    """
+)
+
+KNOWN_GOOD = textwrap.dedent(
+    """
+    import numpy as np
+
+    def jitter(values, seed, position, entity):
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=seed, spawn_key=(position, entity))
+        )
+        return rng.permutation(values), rng.normal(0, 1)
+    """
+)
+
+
+class TestSeededRng:
+    def test_flags_known_bad(self, check_source):
+        findings = check_source(SeededRngChecker, KNOWN_BAD, "repro.engine.faults")
+        assert len(findings) == 3
+        assert {f.rule for f in findings} == {"unseeded-rng"}
+        messages = " ".join(f.message for f in findings)
+        assert "random.shuffle" in messages
+        assert "numpy.random.normal" in messages
+        assert "without a seed" in messages
+
+    def test_passes_known_good(self, check_source):
+        assert check_source(SeededRngChecker, KNOWN_GOOD, "repro.engine.faults") == []
+
+    def test_benchmarks_are_in_scope(self, check_source):
+        findings = check_source(
+            SeededRngChecker, KNOWN_BAD, "benchmarks.perf.run_fleet_bench"
+        )
+        assert len(findings) == 3
+
+    def test_seeded_stdlib_random_instance_is_legal(self, check_source):
+        src = "import random\nr = random.Random(42)\n"
+        assert check_source(SeededRngChecker, src, "repro.workloads.tpcds") == []
+
+    def test_unseeded_stdlib_random_instance_is_flagged(self, check_source):
+        src = "import random\nr = random.Random()\n"
+        assert len(check_source(SeededRngChecker, src, "repro.workloads.tpcds")) == 1
+
+    def test_np_random_seed_is_flagged(self, check_source):
+        src = "import numpy as np\nnp.random.seed(0)\n"
+        findings = check_source(SeededRngChecker, src, "repro.ml.forest")
+        assert len(findings) == 1
+
+    def test_generator_type_references_are_legal(self, check_source):
+        src = textwrap.dedent(
+            """
+            import numpy as np
+
+            def fit(rng: np.random.Generator, seq: np.random.SeedSequence):
+                child = np.random.default_rng(seq.spawn(1)[0])
+                return rng, child
+            """
+        )
+        assert check_source(SeededRngChecker, src, "repro.ml.tree") == []
+
+    def test_out_of_scope_module_is_ignored(self, check_source):
+        assert check_source(SeededRngChecker, KNOWN_BAD, "scripts.scratch") == []

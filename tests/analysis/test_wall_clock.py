@@ -1,0 +1,75 @@
+"""Fixture spec for the ``wall-clock`` rule.
+
+The simulation core may only read the event-loop clock; the
+measured-overhead modules are the documented, allowlisted exception.
+"""
+
+import textwrap
+
+from repro.analysis.checkers import WallClockChecker
+
+KNOWN_BAD = textwrap.dedent(
+    """
+    import time
+    from datetime import datetime
+
+    def handle_event(now):
+        started = time.time()          # host clock inside the core
+        stamp = datetime.now()         # ditto
+        return started, stamp, now
+    """
+)
+
+KNOWN_GOOD = textwrap.dedent(
+    """
+    def handle_event(now, clock):
+        # All times flow from the event loop's clock parameter.
+        return now + clock.tick_interval
+    """
+)
+
+
+class TestWallClock:
+    def test_flags_known_bad_in_core(self, check_source):
+        findings = check_source(WallClockChecker, KNOWN_BAD, "repro.engine.execution")
+        assert len(findings) == 2
+        assert {f.rule for f in findings} == {"wall-clock"}
+        assert "time.time" in findings[0].message
+
+    def test_passes_known_good(self, check_source):
+        assert check_source(WallClockChecker, KNOWN_GOOD, "repro.engine.execution") == []
+
+    def test_measured_overhead_module_is_allowlisted(self, check_source):
+        assert check_source(WallClockChecker, KNOWN_BAD, "repro.fleet.prediction") == []
+        assert check_source(WallClockChecker, KNOWN_BAD, "repro.export.runtime") == []
+
+    def test_out_of_scope_module_is_ignored(self, check_source):
+        # Bench drivers legitimately measure wall time.
+        assert check_source(WallClockChecker, KNOWN_BAD, "benchmarks.perf.run_bench") == []
+
+    def test_from_import_alias_is_resolved(self, check_source):
+        src = "from time import perf_counter as pc\n\ndef f():\n    return pc()\n"
+        findings = check_source(WallClockChecker, src, "repro.fleet.engine")
+        assert len(findings) == 1
+        assert "time.perf_counter" in findings[0].message
+
+    def test_inline_suppression_waives_the_line(self, check_source):
+        src = (
+            "import time\n\n"
+            "def f():\n"
+            "    return time.time()  # repro-analysis: ignore[wall-clock]\n"
+        )
+        assert check_source(WallClockChecker, src, "repro.engine.execution") == []
+
+    def test_suppression_for_other_rule_does_not_waive(self, check_source):
+        src = (
+            "import time\n\n"
+            "def f():\n"
+            "    return time.time()  # repro-analysis: ignore[heap-key]\n"
+        )
+        assert len(check_source(WallClockChecker, src, "repro.engine.execution")) == 1
+
+    def test_local_variable_named_time_is_not_flagged(self, check_source):
+        # Conservative resolution: only import aliases are judged.
+        src = "def f(time):\n    return time.time()\n"
+        assert check_source(WallClockChecker, src, "repro.engine.execution") == []
