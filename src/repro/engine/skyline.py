@@ -17,6 +17,7 @@ by :meth:`Skyline.record` and rebuilt on the next query.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -104,7 +105,7 @@ class Skyline:
         partial = self.points[idx][1] * (end_time - self.points[idx][0])
         return float(prefix[idx] + partial)
 
-    def auc_batch(self, end_times) -> np.ndarray:
+    def auc_batch(self, end_times: np.ndarray | Sequence[float]) -> np.ndarray:
         """Vectorized :meth:`auc` over many end times.
 
         Evaluating a skyline at a whole grid of horizons (percentile

@@ -35,11 +35,11 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.engine.allocation import StaticAllocation
+from repro.engine.allocation import AllocationPolicy, StaticAllocation
 from repro.engine.cluster import (
     UNBOUNDED,
     CapacitySource,
@@ -199,7 +199,7 @@ def simulate_query_sweep(
     counts: Sequence[int],
     cluster: Cluster,
     config: SchedulerConfig = DEFAULT_SCHEDULER_CONFIG,
-    policy_factory=StaticAllocation,
+    policy_factory: Callable[[int], AllocationPolicy] = StaticAllocation,
     capacity_source: CapacitySource = UNBOUNDED,
     record_log: bool = False,
     faults: FaultPlan | None = None,

@@ -17,7 +17,7 @@ Two modes, both seeded and fully deterministic:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -108,7 +108,7 @@ def poisson_arrival_stream(
     rate_qps: float,
     n_apps: int = 16,
     seed: int = 0,
-):
+) -> Iterator[QueryArrival]:
     """Generator form of a Poisson stream, for streaming-mode serving.
 
     Yields ``n_queries`` time-ordered :class:`QueryArrival` objects one

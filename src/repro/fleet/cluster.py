@@ -174,7 +174,9 @@ class ShardedFleet:
         # arrivals enter lazily; see FleetEngine.serve for the argument.
         events: list[tuple[float, int, int, str, int, int, object]] = []
 
-        def push(time: float, kind: str, pool: int, q: int = -1, payload=None) -> None:
+        def push(
+            time: float, kind: str, pool: int, q: int = -1, payload: object = None
+        ) -> None:
             heapq.heappush(events, (time, 1, next(counter), kind, pool, q, payload))
 
         # Any autoscaled pool needs the tick chain even when the fleet

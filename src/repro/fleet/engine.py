@@ -899,7 +899,9 @@ class FleetEngine:
         # mode by a single event.
         events: list[tuple[float, int, int, str, int, object]] = []
 
-        def push(time: float, kind: str, q: int = -1, payload=None) -> None:
+        def push(
+            time: float, kind: str, q: int = -1, payload: object = None
+        ) -> None:
             heapq.heappush(events, (time, 1, next(counter), kind, q, payload))
 
         def start_ticks(now: float) -> None:

@@ -681,7 +681,7 @@ class FleetMetrics:
             return self.stats.prediction_cache_hit_rate()
         return _cache_hit_rate(self.records)
 
-    def streaming(self, relative_accuracy: float = 0.01):
+    def streaming(self, relative_accuracy: float = 0.01) -> StreamingFleetStats:
         """The bounded-memory streaming view of this run.
 
         A streaming serve already holds it — its :attr:`stats` is
@@ -942,7 +942,7 @@ class ClusterMetrics:
             return stats.prediction_cache_hit_rate()
         return _cache_hit_rate(self.records)
 
-    def streaming(self, relative_accuracy: float = 0.01):
+    def streaming(self, relative_accuracy: float = 0.01) -> StreamingFleetStats:
         """Cluster-wide streaming stats: each pool folded, then merged —
         the associative-merge path a distributed collector would take.
         A streaming serve returns its already-merged pool stats (the

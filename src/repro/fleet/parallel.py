@@ -50,7 +50,7 @@ import itertools
 import multiprocessing
 import traceback
 from collections import deque
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.engine.cluster import Cluster
 from repro.fleet.arrivals import QueryArrival
@@ -71,6 +71,9 @@ from repro.fleet.routing import (
     RoutingRequest,
 )
 from repro.workloads.generator import Workload
+
+if TYPE_CHECKING:  # multiprocessing.Queue is a factory method, not a type
+    from multiprocessing.queues import Queue as MpQueue
 
 __all__ = ["ProcessShardExecutor"]
 
@@ -101,7 +104,7 @@ def _static_views(specs: Sequence[PoolSpec]) -> list[PoolView]:
 
 
 def _drive_shard(
-    feed,
+    feed: MpQueue[tuple[object, ...]],
     pool_index: int,
     workload: Workload,
     spec: PoolSpec,
@@ -121,7 +124,7 @@ def _drive_shard(
     counter = itertools.count()
     events: list[tuple[float, int, int, str, int, object]] = []
 
-    def push(time: float, kind: str, q: int = -1, payload=None) -> None:
+    def push(time: float, kind: str, q: int = -1, payload: object = None) -> None:
         heapq.heappush(events, (time, 1, next(counter), kind, q, payload))
 
     anchor: float | None = None
@@ -225,7 +228,15 @@ def _drive_shard(
     return runtime.finalize()
 
 
-def _shard_worker(feed, results, pool_index, workload, spec, cluster, config):
+def _shard_worker(
+    feed: MpQueue[tuple[object, ...]],
+    results: MpQueue[tuple[int, FleetMetrics | None, str | None]],
+    pool_index: int,
+    workload: Workload,
+    spec: PoolSpec,
+    cluster: Cluster,
+    config: FleetConfig,
+) -> None:
     try:
         metrics = _drive_shard(feed, pool_index, workload, spec, cluster, config)
     except BaseException:
@@ -355,7 +366,9 @@ class ProcessShardExecutor:
     # -- parent side ---------------------------------------------------
 
     def _dispatch(
-        self, arrivals: Iterable[QueryArrival], feeds
+        self,
+        arrivals: Iterable[QueryArrival],
+        feeds: Sequence[MpQueue[tuple[object, ...]]],
     ) -> tuple[dict[int, int], list[list[int]], int]:
         """Decide, route, and stream every submit to its pool's feed."""
         config = self.config

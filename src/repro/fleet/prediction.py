@@ -25,19 +25,35 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Protocol, Sequence
 
 import numpy as np
 
 from repro.core.features import QueryFeatures
+from repro.core.ppm import PricePerfModel
 from repro.core.selection import elbow_point
 from repro.core.training import DEFAULT_N_GRID
+from repro.engine.plan import LogicalPlan
 from repro.obs.trace import TraceEvent, Tracer
 
-__all__ = ["Prediction", "PredictionService"]
+if TYPE_CHECKING:
+    from repro.core.autoexecutor import AutoExecutor
+
+__all__ = ["PPMScorer", "Prediction", "PredictionService"]
 
 #: Selection objective signature (same as AutoExecutor's).
 _Objective = Callable[[np.ndarray, np.ndarray], int]
+
+
+class PPMScorer(Protocol):
+    """Structural type for scorers: features in, fitted PPM out.
+
+    Satisfied by a trained :class:`~repro.core.parameter_model
+    .ParameterModel`, an :class:`~repro.core.autoexecutor.AutoExecutor`'s
+    model, or a portable-model scorer from :mod:`repro.export`.
+    """
+
+    def predict_ppm(self, features: QueryFeatures) -> PricePerfModel: ...
 
 
 @dataclass(frozen=True)
@@ -80,7 +96,7 @@ class PredictionService:
 
     def __init__(
         self,
-        scorer: object,
+        scorer: PPMScorer,
         n_grid: np.ndarray = DEFAULT_N_GRID,
         objective: _Objective = elbow_point,
         min_executors: int = 1,
@@ -108,7 +124,9 @@ class PredictionService:
         self.total_seconds = 0.0
 
     @classmethod
-    def from_autoexecutor(cls, system, **kwargs) -> "PredictionService":
+    def from_autoexecutor(
+        cls, system: AutoExecutor, **kwargs: Any
+    ) -> "PredictionService":
         """Wrap a trained :class:`repro.core.autoexecutor.AutoExecutor`."""
         if system.model is None:
             raise RuntimeError("AutoExecutor is not trained yet")
@@ -131,12 +149,14 @@ class PredictionService:
         served = self.hits + self.misses
         return self.total_seconds / served if served else 0.0
 
-    def _featurize(self, plan_or_features) -> QueryFeatures:
+    def _featurize(
+        self, plan_or_features: LogicalPlan | QueryFeatures
+    ) -> QueryFeatures:
         if isinstance(plan_or_features, QueryFeatures):
             return plan_or_features
         return QueryFeatures.from_plan(plan_or_features)
 
-    def _select(self, ppm) -> tuple[int, float]:
+    def _select(self, ppm: PricePerfModel) -> tuple[int, float]:
         """The chosen count and the predicted run time at that count."""
         curve = ppm.predict_curve(self.n_grid)
         chosen = self.objective(self.n_grid, curve)
@@ -150,7 +170,7 @@ class PredictionService:
             runtime = float(np.asarray(ppm.predict_curve([chosen]))[0])
         return chosen, runtime
 
-    def predict(self, plan_or_features) -> Prediction:
+    def predict(self, plan_or_features: LogicalPlan | QueryFeatures) -> Prediction:
         """Serve one decision, measuring its wall-clock overhead."""
         start = time.perf_counter()
         features = self._featurize(plan_or_features)
@@ -246,7 +266,7 @@ class PredictionService:
         self.total_seconds += elapsed
         return out
 
-    def allocate(self, query_id: str, plan) -> Prediction:
+    def allocate(self, query_id: str, plan: LogicalPlan) -> Prediction:
         """The fleet engine's allocator interface.
 
         The decision depends only on the optimized plan; the query id

@@ -15,9 +15,12 @@ finishes), from a finished run (``from_records``), or shard-by-shard and
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.obs.sketch import QuantileSketch
+
+if TYPE_CHECKING:  # runtime import would be circular: fleet.metrics uses us
+    from repro.fleet.metrics import QueryRecord
 
 __all__ = ["Counter", "Gauge", "MetricsRegistry", "StreamingFleetStats"]
 
@@ -178,7 +181,7 @@ class StreamingFleetStats:
             out.observe(record)
         return out
 
-    def observe(self, record) -> None:
+    def observe(self, record: QueryRecord) -> None:
         """Fold one finished :class:`~repro.fleet.metrics.QueryRecord` in."""
         self.latency.add(record.latency)
         self.queue_delay.add(record.queue_delay)

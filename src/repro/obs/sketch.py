@@ -25,6 +25,7 @@ same bucket histogram — there is no randomness and no collapse heuristic.
 from __future__ import annotations
 
 import math
+from typing import Iterable
 
 __all__ = ["QuantileSketch"]
 
@@ -84,7 +85,7 @@ class QuantileSketch:
         if self._max is None or v > self._max:
             self._max = v
 
-    def extend(self, values) -> None:
+    def extend(self, values: Iterable[float]) -> None:
         """Insert every value of an iterable."""
         for v in values:
             self.add(v)
@@ -149,7 +150,7 @@ class QuantileSketch:
         # Unreachable: cumulative counts always reach self._count >= rank.
         raise AssertionError("sketch counts inconsistent")
 
-    def quantiles(self, qs) -> list[float]:
+    def quantiles(self, qs: Iterable[float]) -> list[float]:
         """Batch :meth:`quantile` over many percentiles."""
         return [self.quantile(q) for q in qs]
 
