@@ -52,6 +52,22 @@ candidate must carry the same one):
   the multiprocess merge must equal the single-process sharded serve
   bit for bit.
 
+``repro-bench-serve/v1`` (from ``run_serve_bench.py``):
+
+- **volume** — at least 1,000 requests must have gone through the live
+  HTTP server, all answered 200 (no sheds, timeouts, or errors);
+- **latency** — the client-observed p99 must stay under the budget the
+  run was invoked with (``under_p99_budget``);
+- **batching** — the server-reported mean batch size must exceed 1
+  under the benchmark's concurrency (``batching_active``);
+- **fidelity** — every served recommendation must equal direct
+  ``predict_ppm_batch`` + elbow selection bit-for-bit
+  (``parity.bit_identical``);
+- **throughput** — requests per wall-clock second must not fall more
+  than ``--max-regression`` below the baseline's.  Like the scale
+  schema, wall clock is not hardware-normalized, so CI passes a loose
+  ``--max-regression`` and the real guards are the budget flags above.
+
 Usage:
 
     python benchmarks/perf/compare.py \
@@ -77,7 +93,8 @@ from pathlib import Path
 SWEEP_SCHEMA = "repro-bench-sweep/v2"
 FLEET_SCHEMA = "repro-bench-fleet/v3"
 SCALE_SCHEMA = "repro-bench-scale/v1"
-SCHEMAS = (SWEEP_SCHEMA, FLEET_SCHEMA, SCALE_SCHEMA)
+SERVE_SCHEMA = "repro-bench-serve/v1"
+SCHEMAS = (SWEEP_SCHEMA, FLEET_SCHEMA, SCALE_SCHEMA, SERVE_SCHEMA)
 
 
 def load(path: str) -> dict:
@@ -300,6 +317,66 @@ def compare_scale(baseline: dict, candidate: dict, args) -> list[str]:
     return failures
 
 
+def compare_serve(baseline: dict, candidate: dict, args) -> list[str]:
+    serve = candidate["serve"]
+    batch = candidate["batch"]
+    parity = candidate["parity"]
+    base_rps = float(baseline["serve"]["throughput_rps"])
+    cand_rps = float(serve["throughput_rps"])
+    threshold = base_rps * (1.0 - args.max_regression)
+
+    print(f"baseline  throughput: {base_rps:10,.0f} req/s  ({args.baseline})")
+    print(f"candidate throughput: {cand_rps:10,.0f} req/s  ({args.candidate})")
+    print(
+        f"candidate p99: {serve['p99_ms']} ms "
+        f"(budget {serve['p99_budget_ms']} ms); mean batch size "
+        f"{batch['mean_size']} over {batch['batches']} batches"
+    )
+    gate_line = (
+        f"gate: >= {threshold:,.0f} req/s (baseline - "
+        f"{args.max_regression:.0%}), >= 1000 requests, zero errors, p99 "
+        f"under budget, batching active, recommendations bit-identical to "
+        f"direct batch scoring"
+    )
+    print(gate_line)
+
+    failures = []
+    if int(serve["n_requests"]) < 1000:
+        failures.append(
+            f"load test drove only {serve['n_requests']} requests; the "
+            "serving gate requires at least 1,000 through the live server"
+        )
+    if int(serve["errors"]) != 0:
+        failures.append(
+            f"{serve['errors']} of {serve['n_requests']} requests were not "
+            "answered 200 at the benchmarked rate"
+        )
+    if not bool(serve.get("under_p99_budget")):
+        failures.append(
+            f"client-observed p99 {serve['p99_ms']} ms broke the "
+            f"{serve['p99_budget_ms']} ms budget"
+        )
+    if not bool(batch.get("batching_active")):
+        failures.append(
+            f"micro-batching is inactive: mean batch size "
+            f"{batch['mean_size']} <= 1 under {candidate['params']['concurrency']} "
+            "concurrent clients (coalescing contract lost)"
+        )
+    if not bool(parity.get("bit_identical")):
+        failures.append(
+            f"{parity['mismatches']} served recommendations diverged from "
+            "direct predict_ppm_batch + elbow selection (serving fidelity "
+            "lost)"
+        )
+    if cand_rps < threshold:
+        failures.append(
+            f"serving throughput regressed: {cand_rps:,.0f} req/s < "
+            f"{threshold:,.0f} req/s ({args.max_regression:.0%} below "
+            f"baseline {base_rps:,.0f} req/s)"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True)
@@ -345,6 +422,8 @@ def main(argv=None) -> int:
         failures = compare_sweep(baseline, candidate, args)
     elif baseline["schema"] == FLEET_SCHEMA:
         failures = compare_fleet(baseline, candidate, args)
+    elif baseline["schema"] == SERVE_SCHEMA:
+        failures = compare_serve(baseline, candidate, args)
     else:
         failures = compare_scale(baseline, candidate, args)
 

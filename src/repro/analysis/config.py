@@ -82,12 +82,18 @@ class AnalysisConfig:
         "repro.export.*",
         "repro.obs.*",
         "repro.sparklens.*",
+        "repro.serve.*",
     )
     wall_clock_allow_modules: tuple[str, ...] = (
         "repro.fleet.prediction",
         "repro.export.runtime",
         "repro.core.training",
         "repro.core.autoexecutor",
+        # The serving layer's one measured-overhead module: service
+        # latency sketches read real elapsed time there.  The rest of
+        # repro.serve (protocol framing, batching, the server loop) is
+        # clock-free by contract.
+        "repro.serve.app",
     )
     rng_modules: tuple[str, ...] = (
         # Library code and the drivers that feed gated numbers: a bench

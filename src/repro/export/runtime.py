@@ -192,9 +192,23 @@ class PortablePPMScorer:
     def predict_ppm_batch(self, features_matrix) -> list[PricePerfModel]:
         """Score a whole batch of feature rows in one runtime call.
 
-        One inference dispatch covers every row (the batching the paper's
-        in-optimizer ONNX runtime relies on); the result is one PPM per
-        row, identical to calling :meth:`predict_ppm` row by row.
+        This is the batch-inference contract every consumer leans on —
+        :meth:`repro.fleet.prediction.PredictionService.predict_batch`
+        for cache warm-up, and the HTTP serving layer's micro-batcher
+        (:mod:`repro.serve.batching`) for request coalescing:
+
+        - **Input shape**: ``features_matrix`` is array-like of shape
+          ``(n, n_features)`` with one feature vector per row, ordered
+          as :data:`repro.core.features.FEATURE_NAMES`.  A single
+          1-D vector is promoted to a one-row matrix.
+        - **Ordering**: the result is one fitted PPM per row, with
+          output ``i`` scoring input row ``i``.
+        - **Equivalence**: output ``i`` is *identical* to calling
+          :meth:`predict_ppm` on row ``i`` alone — batching changes the
+          dispatch count (one runtime call instead of ``n``; the
+          batching the paper's in-optimizer ONNX runtime relies on),
+          never the predictions.  The serving layer's byte-identical
+          recommendation guarantee rests on this.
         """
         matrix = np.atleast_2d(np.asarray(features_matrix, dtype=float))
         raw = self.runtime.predict(self.name, matrix)

@@ -24,6 +24,12 @@ query's grant under backlog pressure) and by the per-query
 :class:`repro.engine.cluster.CapacitySource` so a single
 ``simulate_query`` run can draw its executors straight from the shared
 pool instead of an infinite one.
+
+The same bounded-wait discipline reappears one layer up in the HTTP
+serving surface: :mod:`repro.serve` fronts the prediction service with
+a bounded request queue that sheds (HTTP 429) rather than queueing into
+timeout — admission control for recommendation traffic, where this
+module is admission control for executor capacity.
 """
 
 from __future__ import annotations

@@ -41,6 +41,13 @@ may order differently than the shared heap would.  With continuous
 arrival gaps and task durations such collisions have probability zero;
 integer-timed synthetic streams should use the single-process driver
 when byte-identity matters.
+
+The allocator staying in the parent is the same separation the HTTP
+serving layer exploits: :mod:`repro.serve` runs a
+:class:`~repro.fleet.prediction.PredictionService` with no fleet behind
+it at all, because the executor-count decision is a pure function of
+the plan features — independent of which pool (or process) eventually
+runs the query.
 """
 
 from __future__ import annotations

@@ -122,6 +122,12 @@ class PredictionService:
         self.hits = 0
         self.misses = 0
         self.total_seconds = 0.0
+        #: Whether the scorer supports single-dispatch batch inference
+        #: (``predict_ppm_batch``).  Probed once here instead of silently
+        #: per call, so callers (the serving layer's ``/metrics``, the
+        #: fleet drivers) can see when batching is actually in effect.
+        self.batched = callable(getattr(scorer, "predict_ppm_batch", None))
+        self._fallback_traced = False
 
     @classmethod
     def from_autoexecutor(
@@ -148,6 +154,27 @@ class PredictionService:
     def mean_overhead_seconds(self) -> float:
         served = self.hits + self.misses
         return self.total_seconds / served if served else 0.0
+
+    def _note_fallback(self, n_misses: int) -> None:
+        """Trace the first per-miss inference loop taken in a batch call.
+
+        One event per service lifetime: the condition is structural (the
+        scorer lacks ``predict_ppm_batch``), so repeating it per call
+        would only pad the log.
+        """
+        if self._fallback_traced or self.tracer is None:
+            return
+        self._fallback_traced = True
+        self.tracer.emit(
+            TraceEvent(
+                0.0,
+                "prediction_fallback",
+                data={
+                    "scorer": type(self.scorer).__name__,
+                    "misses": n_misses,
+                },
+            )
+        )
 
     def _featurize(
         self, plan_or_features: LogicalPlan | QueryFeatures
@@ -215,7 +242,11 @@ class PredictionService:
         When the scorer supports batch scoring (``predict_ppm_batch``,
         provided by the portable-model runtime), all cache misses go
         through a single inference call; the batch's wall-clock cost is
-        split evenly across the misses.
+        split evenly across the misses.  Whether that path is live is
+        exposed as :attr:`batched`; a scorer without it silently costs a
+        per-miss inference loop, so the first time the fallback actually
+        runs the service emits one ``prediction_fallback`` trace event
+        rather than degrading invisibly.
         """
         start = time.perf_counter()
         featurized = [self._featurize(p) for p in plans]
@@ -230,12 +261,13 @@ class PredictionService:
 
         if miss_order:
             batch_scorer = getattr(self.scorer, "predict_ppm_batch", None)
-            if batch_scorer is not None:
+            if self.batched and batch_scorer is not None:
                 matrix = np.stack(
                     [featurized[i].values for i in miss_order]
                 )
                 ppms = batch_scorer(matrix)
             else:
+                self._note_fallback(len(miss_order))
                 ppms = [
                     self.scorer.predict_ppm(featurized[i])
                     for i in miss_order

@@ -23,6 +23,12 @@ Three policies, in increasing order of information used:
   executor-seconds wherever it runs), so minimizing time-to-capacity is
   what cost-aware placement means here: less queueing for the same
   bill, and fewer scale-ups for the autoscaler to pay for.
+
+The run-time estimate the cost-aware policy consumes is produced by the
+same :class:`~repro.fleet.prediction.PredictionService` that backs the
+HTTP serving layer (:mod:`repro.serve`): a deployment that routes on
+``estimated_runtime_s`` from ``POST /v1/recommend`` is weighing queued
+work with exactly the signal simulated here.
 """
 
 from __future__ import annotations

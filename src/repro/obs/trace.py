@@ -85,8 +85,16 @@ EVENT_KINDS = frozenset(
         "autoscale_up",
         "autoscale_down",
         # Prediction-service events (off the simulation clock; the
-        # on-clock decision is query_predict).
+        # on-clock decision is query_predict).  prediction_fallback fires
+        # once per service lifetime when batch inference is requested of
+        # a scorer without predict_ppm_batch.
         "prediction",
+        "prediction_fallback",
+        # HTTP serving layer (repro.serve): one event per handled request
+        # and one per coalesced inference dispatch.  Off the simulation
+        # clock like the prediction events.
+        "serve_request",
+        "serve_batch",
     }
 )
 

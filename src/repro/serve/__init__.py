@@ -1,0 +1,70 @@
+"""Serve the exported price-performance model over HTTP.
+
+``repro.serve`` is the deployment surface the paper's pipeline feeds:
+models trained by :mod:`repro.sparklens` and exported through
+:mod:`repro.export` answer live *executor-count* queries here, through
+the same :class:`~repro.fleet.prediction.PredictionService` (memo cache,
+batched inference, measured overhead) the fleet simulator uses — so a
+served recommendation is byte-identical to the decision the simulated
+allocator would have made.
+
+The package is **stdlib-only** (asyncio + hand-rolled HTTP/1.1; no new
+dependencies) and splits into four layers:
+
+- :mod:`repro.serve.protocol` — HTTP/1.1 framing (pure, clock-free);
+- :mod:`repro.serve.batching` — :class:`MicroBatcher`, the bounded
+  request queue that coalesces concurrent requests into single
+  ``predict_ppm_batch`` dispatches;
+- :mod:`repro.serve.app` — :class:`RecommendApp`, the routed
+  application with self-measurement (the one allowlisted
+  measured-overhead module);
+- :mod:`repro.serve.server` — :class:`RecommendationServer`, the
+  socket shell with per-request deadlines and graceful drain.
+
+Quick start (full walkthrough in ``docs/serving.md``)::
+
+    python -m repro.serve --registry models/ --model ae_pl --port 8080
+
+or in-process::
+
+    app = RecommendApp.from_registry("models/", "ae_pl")
+    server = RecommendationServer(app, ServerConfig(port=0))
+    await server.start()
+"""
+
+from repro.serve.app import ROUTES, RecommendApp
+from repro.serve.batching import (
+    BatcherClosedError,
+    MicroBatcher,
+    QueueFullError,
+    submit_all,
+)
+from repro.serve.client import HttpReply, ServeClient
+from repro.serve.protocol import (
+    HttpRequest,
+    HttpResponse,
+    ProtocolError,
+    json_response,
+    read_request,
+    render_response,
+)
+from repro.serve.server import RecommendationServer, ServerConfig
+
+__all__ = [
+    "ROUTES",
+    "BatcherClosedError",
+    "HttpReply",
+    "HttpRequest",
+    "HttpResponse",
+    "MicroBatcher",
+    "ProtocolError",
+    "QueueFullError",
+    "RecommendApp",
+    "RecommendationServer",
+    "ServeClient",
+    "ServerConfig",
+    "json_response",
+    "read_request",
+    "render_response",
+    "submit_all",
+]

@@ -1,0 +1,131 @@
+"""CLI entry point: ``python -m repro.serve --registry DIR --model NAME``.
+
+Stands up a :class:`~repro.serve.server.RecommendationServer` over an
+exported model registry and serves until interrupted.  SIGINT/SIGTERM
+trigger the graceful drain (in-flight requests finish, queued requests
+get answers, then sockets close).
+
+This is the operational shell, so it is the one :mod:`repro.serve`
+module permitted to print (ruff ``T20`` per-file ignore): startup and
+shutdown lines go to stdout for the operator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+from pathlib import Path
+
+from repro.obs.trace import JsonlTracer, Tracer
+from repro.serve.app import RecommendApp
+from repro.serve.server import RecommendationServer, ServerConfig
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.serve`` argument surface."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description=(
+            "Serve executor-count recommendations from an exported "
+            "price-performance model registry."
+        ),
+    )
+    parser.add_argument(
+        "--registry",
+        required=True,
+        type=Path,
+        help="portable-model registry directory (see repro.export)",
+    )
+    parser.add_argument(
+        "--model",
+        required=True,
+        help="model name inside the registry",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=32,
+        help="cap on coalesced requests per inference call",
+    )
+    parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="micro-batching window in milliseconds",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=1024,
+        help="bounded request queue size (beyond it: 429)",
+    )
+    parser.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=1000.0,
+        help="per-request deadline in milliseconds (expiry: 504)",
+    )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help="write serve_request/serve_batch trace events to this JSONL file",
+    )
+    return parser
+
+
+async def _serve(args: argparse.Namespace, tracer: Tracer | None) -> None:
+    app = RecommendApp.from_registry(
+        args.registry,
+        args.model,
+        tracer=tracer,
+        max_batch_size=args.max_batch_size,
+        max_wait_s=args.max_wait_ms / 1e3,
+        queue_limit=args.queue_limit,
+    )
+    server = RecommendationServer(
+        app,
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            request_timeout_s=args.timeout_ms / 1e3,
+        ),
+    )
+    await server.start()
+    host, port = server.address
+    print(f"serving model {args.model!r} on http://{host}:{port}")
+    print("routes: POST /v1/recommend  GET /metrics  GET /healthz")
+
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, stop.set)
+    forever = asyncio.ensure_future(server.serve_forever())
+    await stop.wait()
+    print("draining ...")
+    await server.shutdown()
+    await forever
+    print("stopped")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and serve until interrupted."""
+    args = build_parser().parse_args(argv)
+    tracer = JsonlTracer(args.trace) if args.trace is not None else None
+    try:
+        asyncio.run(_serve(args, tracer))
+    finally:
+        if tracer is not None:
+            tracer.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,228 @@
+"""Request micro-batching: coalesce concurrent submits into one call.
+
+The portable runtime scores a whole feature matrix in one dispatch
+(:meth:`repro.export.runtime.PortablePPMScorer.predict_ppm_batch`), and
+:meth:`repro.fleet.prediction.PredictionService.predict_batch` already
+routes every cache miss in a batch through that single call.  What the
+HTTP service adds is *time*: concurrent requests land on the event loop
+within microseconds of each other, so holding the first request for a
+bounded window (``max_wait_s``) and coalescing everything that arrives
+in the meantime — up to ``max_batch_size`` — turns N single-row
+inferences into one matrix inference without materially moving p99.
+
+The dispatcher is also the service's **bounded request queue**: submits
+beyond ``max_pending`` fail immediately with :class:`QueueFullError`,
+which the server answers as 429 (load shedding at the door beats
+queueing into timeout).  Batch composition is *timing-dependent* —
+how requests group depends on their arrival interleaving — but the
+results are not: the scorer's batch contract guarantees row ``i`` of a
+batch scores identically to a lone call, so the same inputs produce the
+same recommendations regardless of how they were coalesced (asserted in
+``tests/serve/test_server.py``).
+
+Deadlines use the event loop's own monotonic clock (``loop.time()``);
+the module never reads the wall clock, so it stays inside the
+``wall-clock`` analysis scope without an allowlist entry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Generic, TypeVar
+
+__all__ = [
+    "BatcherClosedError",
+    "MicroBatcher",
+    "QueueFullError",
+    "submit_all",
+]
+
+TItem = TypeVar("TItem")
+TResult = TypeVar("TResult")
+
+
+class QueueFullError(RuntimeError):
+    """The bounded request queue is at capacity; shed the request."""
+
+
+class BatcherClosedError(RuntimeError):
+    """Submit after :meth:`MicroBatcher.close` — the server is draining."""
+
+
+class MicroBatcher(Generic[TItem, TResult]):
+    """Coalesce concurrent submissions into bounded batch calls.
+
+    Args:
+        batch_fn: called with a non-empty list of items, must return one
+            result per item, *in submission order* — the contract
+            :meth:`~repro.fleet.prediction.PredictionService
+            .predict_batch` provides.  Called on the event loop thread;
+            it should be short (one numpy inference dispatch).
+        max_batch_size: hard cap on the items per call.
+        max_wait_s: how long the first item of a forming batch waits for
+            company before dispatch (the latency the service trades for
+            coalescing).
+        max_pending: bound on queued items; beyond it submissions fail
+            fast with :class:`QueueFullError`.
+
+    Stats (``n_batches``, ``n_items``, ``peak_batch_size``) accumulate
+    per dispatch; the application layer folds per-batch sizes into its
+    metrics sketch through the optional ``observe_batch`` callback.
+    """
+
+    def __init__(
+        self,
+        batch_fn: Callable[[list[TItem]], list[TResult]],
+        *,
+        max_batch_size: int = 32,
+        max_wait_s: float = 0.002,
+        max_pending: int = 1024,
+        observe_batch: Callable[[int], None] | None = None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s cannot be negative")
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        self.batch_fn = batch_fn
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_s)
+        self.max_pending = int(max_pending)
+        self.observe_batch = observe_batch
+        self.n_batches = 0
+        self.n_items = 0
+        self.peak_batch_size = 0
+        self._queue: asyncio.Queue[
+            tuple[TItem, asyncio.Future[TResult]] | None
+        ] = asyncio.Queue()
+        self._pending = 0
+        self._closed = False
+        self._task: asyncio.Task[None] | None = None
+
+    # --- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        """Start the dispatcher task (idempotent)."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def close(self) -> None:
+        """Drain: refuse new submits, dispatch what is queued, stop."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put_nowait(None)  # wake the dispatcher for shutdown
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    @property
+    def pending(self) -> int:
+        """Items submitted but not yet dispatched."""
+        return self._pending
+
+    # --- submission ------------------------------------------------------
+    async def submit(self, item: TItem) -> TResult:
+        """Queue one item and await its batch's result for it.
+
+        Raises:
+            QueueFullError: the bounded queue is at ``max_pending``.
+            BatcherClosedError: the batcher is draining/closed.
+        """
+        if self._closed:
+            raise BatcherClosedError("batcher is closed")
+        if self._pending >= self.max_pending:
+            raise QueueFullError(
+                f"request queue at capacity ({self.max_pending})"
+            )
+        if self._task is None:
+            self.start()
+        future: asyncio.Future[TResult] = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending += 1
+        self._queue.put_nowait((item, future))
+        return await future
+
+    # --- dispatcher ------------------------------------------------------
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if first is None:
+                if self._closed and self._queue.empty():
+                    return
+                continue
+            batch = [first]
+            deadline = loop.time() + self.max_wait_s
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - loop.time()
+                entry: tuple[TItem, asyncio.Future[TResult]] | None
+                if self._queue.qsize():
+                    entry = self._queue.get_nowait()
+                elif remaining <= 0 or self._closed:
+                    break
+                else:
+                    try:
+                        entry = await asyncio.wait_for(
+                            self._queue.get(), remaining
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                if entry is None:
+                    # Shutdown sentinel: dispatch what we have; the top
+                    # of the loop will observe _closed and exit.
+                    self._queue.put_nowait(None)
+                    break
+                batch.append(entry)
+            self._dispatch(batch)
+            if self._closed and self._queue.empty():
+                return
+
+    def _dispatch(
+        self, batch: list[tuple[TItem, asyncio.Future[TResult]]]
+    ) -> None:
+        """Run one batch call and resolve its futures."""
+        self._pending -= len(batch)
+        self.n_batches += 1
+        self.n_items += len(batch)
+        if len(batch) > self.peak_batch_size:
+            self.peak_batch_size = len(batch)
+        if self.observe_batch is not None:
+            self.observe_batch(len(batch))
+        try:
+            results = self.batch_fn([item for item, _ in batch])
+        except Exception as exc:  # resolve every waiter with the failure
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        if len(results) != len(batch):
+            error = RuntimeError(
+                f"batch_fn returned {len(results)} results for "
+                f"{len(batch)} items"
+            )
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for (_, future), result in zip(batch, results):
+            # A waiter whose request timed out was cancelled; its slot
+            # still scored (the batch was already formed) but nobody is
+            # listening.
+            if not future.done():
+                future.set_result(result)
+
+
+async def submit_all(
+    batcher: MicroBatcher[TItem, TResult], items: list[TItem]
+) -> list[TResult]:
+    """Submit many items concurrently and gather their results in order.
+
+    A convenience for tests and drivers; equivalent to
+    ``asyncio.gather(*(batcher.submit(i) for i in items))``.
+    """
+    tasks: list[Awaitable[TResult]] = [
+        asyncio.ensure_future(batcher.submit(item)) for item in items
+    ]
+    return list(await asyncio.gather(*tasks))

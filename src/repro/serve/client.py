@@ -1,0 +1,163 @@
+"""A minimal asyncio HTTP/1.1 client for the recommendation service.
+
+The load-test bench, the end-to-end example, and the protocol test
+suite all need to speak to the server without new dependencies, so this
+module provides the counterpart of :mod:`repro.serve.protocol`: one
+persistent (keep-alive) connection per :class:`ServeClient`, requests
+serialized by hand, responses parsed with the same hard caps the server
+applies to requests.
+
+This is a *test-and-bench* client, deliberately small: one in-flight
+request per connection (HTTP/1.1 without pipelining), JSON bodies only.
+Open several clients for concurrency — that is exactly what the load
+generator does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from types import TracebackType
+
+from repro.serve.protocol import MAX_HEADER_BYTES, ProtocolError
+
+__all__ = ["HttpReply", "ServeClient"]
+
+
+class HttpReply:
+    """One parsed response.
+
+    Attributes:
+        status: HTTP status code.
+        headers: header fields, names lower-cased.
+        body: raw payload bytes.
+    """
+
+    def __init__(
+        self, status: int, headers: dict[str, str], body: bytes
+    ) -> None:
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> object:
+        """Decode the body as UTF-8 JSON."""
+        return json.loads(self.body.decode("utf-8"))
+
+
+class ServeClient:
+    """One keep-alive connection to a recommendation server.
+
+    Usable as an async context manager::
+
+        async with ServeClient(host, port) as client:
+            reply = await client.post_json("/v1/recommend", payload)
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> "ServeClient":
+        """Open the connection (idempotent)."""
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        return self
+
+    async def close(self) -> None:
+        """Close the connection."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def __aenter__(self) -> "ServeClient":
+        return await self.connect()
+
+    async def __aexit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        await self.close()
+
+    # --- requests --------------------------------------------------------
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: dict[str, str] | None = None,
+    ) -> HttpReply:
+        """Send one request and read its response.
+
+        The connection is reused across calls; if the server answered
+        ``Connection: close`` the socket is closed afterwards and the
+        next call reconnects.
+        """
+        await self.connect()
+        assert self._reader is not None and self._writer is not None
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            f"Content-Length: {len(body)}",
+        ]
+        if body:
+            lines.append("Content-Type: application/json")
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        reply = await _read_reply(self._reader)
+        if reply.headers.get("connection", "").lower() == "close":
+            await self.close()
+        return reply
+
+    async def get(self, path: str) -> HttpReply:
+        """``GET path``."""
+        return await self.request("GET", path)
+
+    async def post_json(self, path: str, payload: object) -> HttpReply:
+        """``POST path`` with a JSON payload."""
+        body = json.dumps(payload).encode("utf-8")
+        return await self.request("POST", path, body=body)
+
+
+async def _read_reply(reader: asyncio.StreamReader) -> HttpReply:
+    """Parse one response off the stream (Content-Length framing only)."""
+    raw = b""
+    while True:
+        try:
+            chunk = await reader.readuntil(b"\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise ProtocolError(400, "truncated response head") from None
+        raw += chunk
+        if len(raw) > MAX_HEADER_BYTES:
+            raise ProtocolError(431, "response head too large")
+        if chunk in (b"\r\n", b"\n"):
+            break
+    lines = [line.rstrip("\r") for line in raw.decode("latin-1").split("\n")]
+    status_parts = lines[0].split(None, 2)
+    if len(status_parts) < 2 or not status_parts[1].isdigit():
+        raise ProtocolError(400, f"malformed status line: {lines[0]!r}")
+    status = int(status_parts[1])
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    body = await reader.readexactly(length) if length else b""
+    return HttpReply(status, headers, body)

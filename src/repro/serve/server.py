@@ -1,0 +1,234 @@
+"""The asyncio HTTP server: connections, deadlines, graceful drain.
+
+:class:`RecommendationServer` is the socket-facing shell around a
+:class:`~repro.serve.app.RecommendApp`: it accepts connections with
+``asyncio.start_server``, parses requests through
+:mod:`repro.serve.protocol`, enforces the per-request deadline, and maps
+the failure modes onto their HTTP statuses:
+
+- framing errors → the :class:`~repro.serve.protocol.ProtocolError`'s
+  status (400/411/413/431/501), connection closed;
+- deadline expiry (``request_timeout_s``) → 504, the queued slot's
+  eventual result discarded;
+- bounded-queue shed and drain are answered by the app itself (429/503);
+- unexpected handler failures → 500 (the connection survives).
+
+**Graceful lifecycle.**  :meth:`RecommendationServer.shutdown` stops
+accepting, answers new requests on kept-alive connections with 503
+``Connection: close``, drains the batcher (queued requests still get
+answers), waits up to ``drain_timeout_s`` for in-flight requests to
+finish, and only then force-closes lingering idle connections.
+
+The module never reads the host clock — deadlines are delegated to
+``asyncio.wait_for`` and latency measurement lives in the allowlisted
+measured-overhead module (:mod:`repro.serve.app`) — so it stays inside
+the ``wall-clock`` analysis scope with nothing to waive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.serve.app import RecommendApp
+from repro.serve.protocol import (
+    HttpRequest,
+    HttpResponse,
+    ProtocolError,
+    json_response,
+    read_request,
+    render_response,
+)
+
+__all__ = ["RecommendationServer", "ServerConfig"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Socket-level serving knobs.
+
+    Attributes:
+        host: bind address (loopback by default: this is an in-process
+            service, not an internet-facing one).
+        port: bind port; ``0`` picks an ephemeral port (read it back
+            from :attr:`RecommendationServer.address`).
+        request_timeout_s: per-request deadline, measured from parse
+            completion to response readiness; expiry answers 504.
+        max_body_bytes: request-body cap; larger payloads answer 413.
+        drain_timeout_s: how long :meth:`RecommendationServer.shutdown`
+            waits for in-flight requests before force-closing.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    request_timeout_s: float = 1.0
+    max_body_bytes: int = 64 * 1024
+    drain_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive")
+        if self.max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be positive")
+        if self.drain_timeout_s < 0:
+            raise ValueError("drain_timeout_s cannot be negative")
+
+
+class RecommendationServer:
+    """Serve a :class:`~repro.serve.app.RecommendApp` over HTTP/1.1.
+
+    Usage::
+
+        app = RecommendApp.from_registry(registry_dir, "ae_pl")
+        server = RecommendationServer(app, ServerConfig(port=0))
+        await server.start()
+        host, port = server.address
+        ...
+        await server.shutdown()
+    """
+
+    def __init__(
+        self, app: RecommendApp, config: ServerConfig | None = None
+    ) -> None:
+        self.app = app
+        self.config = config if config is not None else ServerConfig()
+        self._server: asyncio.Server | None = None
+        self._draining = False
+        self._in_flight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # --- lifecycle -------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket and start the app's batching dispatcher."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self.app.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ephemeral port 0)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        name = self._server.sockets[0].getsockname()
+        return str(name[0]), int(name[1])
+
+    async def serve_forever(self) -> None:
+        """Block until the server is shut down."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            # serve_forever is cancelled by shutdown(); the drain has
+            # its own await chain, so swallow the cancellation here.
+            pass
+
+    async def shutdown(self) -> None:
+        """Graceful drain: finish in-flight work, then close everything."""
+        if self._server is None:
+            return
+        self._draining = True
+        self.app.draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        # Flush the batcher FIRST: requests already queued into a forming
+        # batch get scored and answered instead of idling into their
+        # deadlines.  Only then wait for the connection handlers to write
+        # those responses out.
+        await self.app.close()
+        try:
+            await asyncio.wait_for(
+                self._idle.wait(), self.config.drain_timeout_s
+            )
+        except asyncio.TimeoutError:
+            pass  # force-close below; slow requests lose their sockets
+        for writer in list(self._writers):
+            writer.close()
+        self._server = None
+
+    # --- connection handling ---------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            await self._serve_connection(reader, writer)
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # the peer went away; nothing to answer
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                request = await read_request(
+                    reader, max_body_bytes=self.config.max_body_bytes
+                )
+            except ProtocolError as exc:
+                # After a framing error the stream position is not
+                # trustworthy: answer and close.
+                writer.write(
+                    render_response(
+                        json_response(exc.status, {"error": exc.detail}),
+                        keep_alive=False,
+                    )
+                )
+                await writer.drain()
+                return
+            if request is None:
+                return  # clean EOF between requests
+            if self._draining:
+                writer.write(
+                    render_response(
+                        json_response(
+                            503, {"error": "server is shutting down"}
+                        ),
+                        keep_alive=False,
+                    )
+                )
+                await writer.drain()
+                return
+            response = await self._respond(request)
+            keep_alive = (
+                request.headers.get("connection", "keep-alive").lower()
+                != "close"
+            )
+            writer.write(render_response(response, keep_alive=keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                return
+
+    async def _respond(self, request: HttpRequest) -> HttpResponse:
+        self._in_flight += 1
+        self._idle.clear()
+        try:
+            return await asyncio.wait_for(
+                self.app.handle(request), self.config.request_timeout_s
+            )
+        except asyncio.TimeoutError:
+            self.app.note_timeout()
+            return json_response(
+                504,
+                {
+                    "error": "request deadline of "
+                    f"{self.config.request_timeout_s}s expired"
+                },
+            )
+        except Exception:  # the connection must survive handler bugs
+            return json_response(500, {"error": "internal server error"})
+        finally:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._idle.set()

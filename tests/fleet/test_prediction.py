@@ -137,6 +137,47 @@ class TestBatching:
         assert [p.cached for p in out] == [False, True, False]
         assert scorer.calls == 2
 
+    def test_batched_flag_reflects_scorer_capability(self):
+        assert PredictionService(CountingScorer()).batched is False
+
+        class BatchScorer(CountingScorer):
+            def predict_ppm_batch(self, matrix):
+                return [
+                    self.predict_ppm(None) for _ in np.atleast_2d(matrix)
+                ]
+
+        assert PredictionService(BatchScorer()).batched is True
+
+    def test_fallback_emits_one_trace_event(self):
+        from repro.obs.trace import RingBufferTracer
+
+        tracer = RingBufferTracer()
+        service = PredictionService(CountingScorer(), tracer=tracer)
+        service.predict_batch([features(1.0), features(2.0)])
+        service.predict_batch([features(3.0)])  # second fallback: no event
+        kinds = [e.kind for e in tracer.events]
+        assert kinds.count("prediction_fallback") == 1
+        event = next(
+            e for e in tracer.events if e.kind == "prediction_fallback"
+        )
+        assert event.data["scorer"] == "CountingScorer"
+        assert event.data["misses"] == 2
+
+    def test_no_fallback_event_for_batched_scorer(self):
+        from repro.obs.trace import RingBufferTracer
+
+        class BatchScorer(CountingScorer):
+            def predict_ppm_batch(self, matrix):
+                return [
+                    PowerLawPPM(a=-0.8, b=400.0, m=10.0)
+                    for _ in np.atleast_2d(matrix)
+                ]
+
+        tracer = RingBufferTracer()
+        service = PredictionService(BatchScorer(), tracer=tracer)
+        service.predict_batch([features(1.0), features(2.0)])
+        assert all(e.kind != "prediction_fallback" for e in tracer.events)
+
 
 class TestPortableRuntime:
     """The service in front of the exported-model runtime, as deployed."""

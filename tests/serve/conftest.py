@@ -1,0 +1,37 @@
+"""Fixtures for the serving-layer tests.
+
+The suite runs under ``--import-mode=importlib`` (no sys.path
+insertion), so shared *code* helpers live in the test modules that use
+them; this conftest carries only the expensive fixture: a real exported
+forest registry on disk, for the parity tests that must go through
+:class:`repro.export.runtime.PortablePPMScorer`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FEATURE_NAMES
+from repro.export.format import save_model_file
+from repro.ml.forest import RandomForestRegressor
+
+
+@pytest.fixture(scope="session")
+def registry(tmp_path_factory):
+    """A real portable-model registry with one power-law forest."""
+    root = tmp_path_factory.mktemp("serve_registry")
+    rng = np.random.default_rng(7)
+    X = rng.random((60, len(FEATURE_NAMES)))
+    # Power-law parameter targets (a, b, m); from_parameters clamps, so
+    # the forest's raw outputs always build valid PPMs.
+    Y = np.column_stack(
+        [
+            -np.abs(rng.random(60)) - 0.1,
+            np.abs(rng.random(60)) * 50 + 10,
+            np.abs(rng.random(60)) * 2,
+        ]
+    )
+    forest = RandomForestRegressor(n_estimators=6, random_state=0).fit(X, Y)
+    save_model_file(
+        forest, root / "ae_pl.json", metadata={"family": "power_law"}
+    )
+    return root

@@ -1,0 +1,238 @@
+"""Unit tests for the micro-batcher: coalescing, bounds, drain."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.batching import (
+    BatcherClosedError,
+    MicroBatcher,
+    QueueFullError,
+    submit_all,
+)
+
+
+def make_batcher(recorded, **kwargs):
+    """A batcher whose batch_fn echoes items and records batch sizes."""
+
+    def batch_fn(items):
+        recorded.append(list(items))
+        return [item * 2 for item in items]
+
+    return MicroBatcher(batch_fn, **kwargs)
+
+
+class TestCoalescing:
+    def test_single_submit(self):
+        async def run():
+            recorded = []
+            batcher = make_batcher(recorded)
+            batcher.start()
+            result = await batcher.submit(21)
+            await batcher.close()
+            return result, recorded
+
+        result, recorded = asyncio.run(run())
+        assert result == 42
+        assert recorded == [[21]]
+
+    def test_concurrent_submits_coalesce(self):
+        async def run():
+            recorded = []
+            batcher = make_batcher(recorded, max_wait_s=0.05)
+            batcher.start()
+            results = await submit_all(batcher, list(range(10)))
+            await batcher.close()
+            return results, recorded
+
+        results, recorded = asyncio.run(run())
+        assert results == [i * 2 for i in range(10)]
+        # All ten landed before the window closed: far fewer batches
+        # than items, and every item accounted for exactly once.
+        assert sum(len(b) for b in recorded) == 10
+        assert len(recorded) < 10
+        assert batcher_max(recorded) > 1
+
+    def test_max_batch_size_respected(self):
+        async def run():
+            recorded = []
+            batcher = make_batcher(
+                recorded, max_batch_size=4, max_wait_s=0.05
+            )
+            batcher.start()
+            await submit_all(batcher, list(range(10)))
+            await batcher.close()
+            return recorded
+
+        recorded = asyncio.run(run())
+        assert all(len(batch) <= 4 for batch in recorded)
+        assert sum(len(b) for b in recorded) == 10
+
+    def test_results_keep_submission_order(self):
+        async def run():
+            batcher = MicroBatcher(
+                lambda items: list(items), max_wait_s=0.05
+            )
+            batcher.start()
+            results = await submit_all(batcher, list(range(32)))
+            await batcher.close()
+            return results
+
+        assert asyncio.run(run()) == list(range(32))
+
+    def test_stats_accumulate(self):
+        async def run():
+            recorded = []
+            batcher = make_batcher(recorded, max_wait_s=0.05)
+            batcher.start()
+            await submit_all(batcher, list(range(6)))
+            await batcher.close()
+            return batcher
+
+        batcher = asyncio.run(run())
+        assert batcher.n_items == 6
+        assert batcher.n_batches >= 1
+        assert batcher.peak_batch_size >= 1
+        assert batcher.pending == 0
+
+    def test_observe_batch_callback(self):
+        async def run():
+            sizes = []
+            batcher = MicroBatcher(
+                lambda items: list(items),
+                max_wait_s=0.05,
+                observe_batch=sizes.append,
+            )
+            batcher.start()
+            await submit_all(batcher, list(range(5)))
+            await batcher.close()
+            return sizes
+
+        sizes = asyncio.run(run())
+        assert sum(sizes) == 5
+
+
+class TestBounds:
+    def test_queue_full_sheds(self):
+        async def run():
+            batcher = MicroBatcher(
+                lambda items: list(items), max_pending=2, max_wait_s=10.0
+            )
+            batcher.start()
+            # The long window holds the forming batch open, so both
+            # submissions stay pending (undispatched) while we probe.
+            first = asyncio.ensure_future(batcher.submit(1))
+            second = asyncio.ensure_future(batcher.submit(2))
+            await asyncio.sleep(0)  # let both enqueue
+            with pytest.raises(QueueFullError):
+                await batcher.submit(3)
+            # close() flushes the held batch without waiting the window out.
+            await batcher.close()
+            return await asyncio.gather(first, second)
+
+        assert asyncio.run(run()) == [1, 2]
+
+    def test_submit_after_close_raises(self):
+        async def run():
+            batcher = MicroBatcher(lambda items: list(items))
+            batcher.start()
+            await batcher.close()
+            with pytest.raises(BatcherClosedError):
+                await batcher.submit(1)
+
+        asyncio.run(run())
+
+    def test_constructor_validation(self):
+        fn = list
+        with pytest.raises(ValueError):
+            MicroBatcher(fn, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(fn, max_wait_s=-1)
+        with pytest.raises(ValueError):
+            MicroBatcher(fn, max_pending=0)
+
+
+class TestFailures:
+    def test_batch_fn_exception_propagates_to_every_waiter(self):
+        async def run():
+            def explode(items):
+                raise RuntimeError("scorer died")
+
+            batcher = MicroBatcher(explode, max_wait_s=0.02)
+            batcher.start()
+            tasks = [
+                asyncio.ensure_future(batcher.submit(i)) for i in range(3)
+            ]
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            await batcher.close()
+            return results
+
+        results = asyncio.run(run())
+        assert len(results) == 3
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_length_mismatch_is_an_error(self):
+        async def run():
+            batcher = MicroBatcher(lambda items: [0])  # wrong arity
+            batcher.start()
+            tasks = [
+                asyncio.ensure_future(batcher.submit(i)) for i in range(2)
+            ]
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            await batcher.close()
+            return results
+
+        results = asyncio.run(run())
+        assert any(isinstance(r, RuntimeError) for r in results)
+
+    def test_failure_then_recovery(self):
+        async def run():
+            calls = {"n": 0}
+
+            def flaky(items):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise RuntimeError("first call fails")
+                return list(items)
+
+            batcher = MicroBatcher(flaky)
+            batcher.start()
+            with pytest.raises(RuntimeError):
+                await batcher.submit(1)
+            result = await batcher.submit(2)
+            await batcher.close()
+            return result
+
+        assert asyncio.run(run()) == 2
+
+
+class TestDrain:
+    def test_close_dispatches_queued_items(self):
+        async def run():
+            recorded = []
+            batcher = make_batcher(recorded, max_wait_s=10.0)
+            batcher.start()
+            tasks = [
+                asyncio.ensure_future(batcher.submit(i)) for i in range(4)
+            ]
+            await asyncio.sleep(0)  # queue them behind the long window
+            await batcher.close()
+            return await asyncio.gather(*tasks), recorded
+
+        results, recorded = asyncio.run(run())
+        # The long window never expired: close() itself flushed them.
+        assert results == [0, 2, 4, 6]
+        assert sum(len(b) for b in recorded) == 4
+
+    def test_close_is_idempotent(self):
+        async def run():
+            batcher = MicroBatcher(lambda items: list(items))
+            batcher.start()
+            await batcher.close()
+            await batcher.close()
+
+        asyncio.run(run())
+
+
+def batcher_max(recorded):
+    return max(len(batch) for batch in recorded)

@@ -414,6 +414,131 @@ class TestScaleGate:
         assert "params drifted" in proc.stderr
 
 
+def serve_json(
+    throughput=3000.0,
+    n_requests=2000,
+    errors=0,
+    under_p99=True,
+    batching_active=True,
+    bit_identical=True,
+):
+    return {
+        "schema": "repro-bench-serve/v1",
+        "machine": {"python": "3.11", "numpy": "2.0", "platform": "test"},
+        "params": {
+            "n_requests": n_requests,
+            "distinct_queries": 50,
+            "concurrency": 32,
+            "rate_qps": 500.0,
+            "max_batch_size": 32,
+            "max_wait_ms": 2.0,
+            "timeout_ms": 5000.0,
+            "p99_budget_ms": 250.0,
+            "seed": 0,
+        },
+        "serve": {
+            "n_requests": n_requests,
+            "n_ok": n_requests - errors,
+            "errors": errors,
+            "wall_seconds": n_requests / throughput,
+            "throughput_rps": throughput,
+            "p50_ms": 9.0,
+            "p95_ms": 14.0,
+            "p99_ms": 24.0,
+            "max_ms": 25.0,
+            "p99_budget_ms": 250.0,
+            "under_p99_budget": under_p99,
+        },
+        "batch": {
+            "batches": 63,
+            "items": n_requests,
+            "mean_size": 31.7 if batching_active else 1.0,
+            "peak_size": 32,
+            "batching_active": batching_active,
+        },
+        "cache": {
+            "hits": n_requests - 50,
+            "misses": 50,
+            "hit_rate": (n_requests - 50) / n_requests,
+            "batched": True,
+        },
+        "parity": {
+            "n_checked": n_requests,
+            "mismatches": 0 if bit_identical else 3,
+            "bit_identical": bit_identical,
+        },
+    }
+
+
+class TestServeGate:
+    def test_equal_run_passes(self, tmp_path):
+        proc = run_gate(tmp_path, serve_json(), serve_json())
+        assert proc.returncode == 0, proc.stderr
+        assert "no benchmark regression" in proc.stdout
+
+    def test_too_few_requests_fails(self, tmp_path):
+        # both sides at the small size so the params-drift check (which
+        # runs first) stays quiet and the volume gate itself fires
+        proc = run_gate(
+            tmp_path,
+            serve_json(n_requests=800),
+            serve_json(n_requests=800),
+        )
+        assert proc.returncode == 1
+        assert "at least 1,000" in proc.stderr
+
+    def test_errors_fail(self, tmp_path):
+        proc = run_gate(tmp_path, serve_json(), serve_json(errors=3))
+        assert proc.returncode == 1
+        assert "not answered 200" in proc.stderr
+
+    def test_p99_budget_break_fails(self, tmp_path):
+        proc = run_gate(
+            tmp_path, serve_json(), serve_json(under_p99=False)
+        )
+        assert proc.returncode == 1
+        assert "budget" in proc.stderr
+
+    def test_inactive_batching_fails(self, tmp_path):
+        proc = run_gate(
+            tmp_path, serve_json(), serve_json(batching_active=False)
+        )
+        assert proc.returncode == 1
+        assert "coalescing contract lost" in proc.stderr
+
+    def test_lost_parity_fails(self, tmp_path):
+        proc = run_gate(
+            tmp_path, serve_json(), serve_json(bit_identical=False)
+        )
+        assert proc.returncode == 1
+        assert "serving fidelity" in proc.stderr
+
+    def test_throughput_regression_fails(self, tmp_path):
+        proc = run_gate(tmp_path, serve_json(3000.0), serve_json(2000.0))
+        assert proc.returncode == 1
+        assert "throughput regressed" in proc.stderr
+
+    def test_loose_tolerance_passes_slow_machine(self, tmp_path):
+        # CI invokes the serve gate with a loose --max-regression: wall
+        # clock is not hardware-normalized, so the real guards are the
+        # in-document budget flags, not the throughput ratio.
+        proc = run_gate(
+            tmp_path,
+            serve_json(3000.0),
+            serve_json(1300.0),
+            "--max-regression",
+            "0.6",
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_params_drift_fails(self, tmp_path):
+        drifted = serve_json()
+        drifted["params"]["concurrency"] = 8
+        proc = run_gate(tmp_path, serve_json(), drifted)
+        assert proc.returncode == 1
+        assert "params drifted" in proc.stderr
+
+
 def test_checked_in_scale_baseline_is_valid():
     data = json.loads(
         (REPO_ROOT / "benchmarks" / "perf" / "baseline_scale.json").read_text(
@@ -439,6 +564,24 @@ def test_checked_in_baseline_is_valid(file):
     assert data["speedup"] >= 5.0
     assert data["equivalence"]["bit_identical"] is True
     assert data["parity"]["bit_identical"] is True
+
+
+def test_checked_in_serve_baseline_is_valid():
+    data = json.loads(
+        (REPO_ROOT / "benchmarks" / "perf" / "baseline_serve.json").read_text(
+            encoding="utf-8"
+        )
+    )
+    assert data["schema"] == "repro-bench-serve/v1"
+    assert data["serve"]["n_requests"] >= 1000
+    assert data["serve"]["errors"] == 0
+    assert data["serve"]["under_p99_budget"] is True
+    assert data["serve"]["p99_ms"] <= data["serve"]["p99_budget_ms"]
+    assert data["batch"]["batching_active"] is True
+    assert data["batch"]["mean_size"] > 1.0
+    assert data["cache"]["batched"] is True
+    assert data["parity"]["bit_identical"] is True
+    assert data["parity"]["mismatches"] == 0
 
 
 def test_checked_in_fleet_baseline_is_valid():

@@ -61,6 +61,12 @@ PUBLIC_MODULES = [
     "repro.fleet.routing",
     "repro.fleet.cluster",
     "repro.fleet.parallel",
+    "repro.serve",
+    "repro.serve.protocol",
+    "repro.serve.batching",
+    "repro.serve.app",
+    "repro.serve.server",
+    "repro.serve.client",
     "repro.obs",
     "repro.obs.trace",
     "repro.obs.sketch",
