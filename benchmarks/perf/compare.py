@@ -52,6 +52,24 @@ candidate must carry the same one):
   the multiprocess merge must equal the single-process sharded serve
   bit for bit.
 
+``repro-bench-adapt/v1`` (from ``run_adapt_bench.py``):
+
+- **wins** — across the mid-stream input-size shift, the adaptive serve
+  must beat the frozen serve on p95 latency AND on total dollar cost
+  with the retraining bill included;
+- **drift** — at least one ``drift_alarm`` must fire, and the first
+  alarm must land after the shift instant (the in-regime prefix of the
+  stream must not trip the detector);
+- **zero-retrain parity** — an attached controller whose thresholds can
+  never trigger must serve bit-identically to no controller at all (the
+  feedback hook's observe-without-perturbing contract);
+- **margins** — the frozen-over-adaptive improvement ratios (p95 and
+  cost) must not fall more than ``--max-regression`` below the
+  baseline's.  Both serves are simulation-clock deterministic
+  (``charge_prediction_overhead=False``), so these ratios only move
+  when code changes behavior — the tolerance absorbs intentional
+  retuning, not hardware noise.
+
 ``repro-bench-serve/v1`` (from ``run_serve_bench.py``):
 
 - **volume** — at least 1,000 requests must have gone through the live
@@ -94,7 +112,8 @@ SWEEP_SCHEMA = "repro-bench-sweep/v2"
 FLEET_SCHEMA = "repro-bench-fleet/v3"
 SCALE_SCHEMA = "repro-bench-scale/v1"
 SERVE_SCHEMA = "repro-bench-serve/v1"
-SCHEMAS = (SWEEP_SCHEMA, FLEET_SCHEMA, SCALE_SCHEMA, SERVE_SCHEMA)
+ADAPT_SCHEMA = "repro-bench-adapt/v1"
+SCHEMAS = (SWEEP_SCHEMA, FLEET_SCHEMA, SCALE_SCHEMA, SERVE_SCHEMA, ADAPT_SCHEMA)
 
 
 def load(path: str) -> dict:
@@ -377,6 +396,79 @@ def compare_serve(baseline: dict, candidate: dict, args) -> list[str]:
     return failures
 
 
+def compare_adapt(baseline: dict, candidate: dict, args) -> list[str]:
+    base_imp = baseline["improvement"]
+    cand_imp = candidate["improvement"]
+    wins = candidate["wins"]
+    drift = candidate["drift"]
+    parity = candidate["parity"]
+    p95_threshold = float(base_imp["p95_ratio"]) * (1.0 - args.max_regression)
+    cost_threshold = float(base_imp["cost_ratio"]) * (1.0 - args.max_regression)
+
+    print(
+        f"baseline  improvement: p95 {float(base_imp['p95_ratio']):5.2f}x, "
+        f"cost {float(base_imp['cost_ratio']):5.2f}x  ({args.baseline})"
+    )
+    print(
+        f"candidate improvement: p95 {float(cand_imp['p95_ratio']):5.2f}x, "
+        f"cost {float(cand_imp['cost_ratio']):5.2f}x  ({args.candidate})"
+    )
+    gate_line = (
+        f"gate: adaptive beats frozen on p95 and on total $ (retrain bill "
+        f"included), drift alarm after the shift, zero-retrain parity, "
+        f"improvement >= {p95_threshold:.2f}x / {cost_threshold:.2f}x "
+        f"(baseline - {args.max_regression:.0%})"
+    )
+    print(gate_line)
+
+    failures = []
+    if not bool(parity.get("zero_retrain_bit_identical")):
+        failures.append(
+            "a never-retraining controller no longer serves bit-identically "
+            "to a frozen fleet (the feedback hook perturbs the serve)"
+        )
+    if not bool(wins.get("p95")):
+        failures.append(
+            "the adaptive serve no longer beats the frozen serve on p95 "
+            "latency across the input-size shift"
+        )
+    if not bool(wins.get("cost")):
+        failures.append(
+            "the adaptive serve no longer beats the frozen serve on total "
+            "dollar cost with the retraining bill included"
+        )
+    if int(drift.get("alarms", 0)) < 1:
+        failures.append(
+            "no drift alarm fired across the input-size shift (detector "
+            "or feedback path dead)"
+        )
+    elif not bool(drift.get("fired_after_shift")):
+        failures.append(
+            f"the first drift alarm (t={drift.get('first_alarm_time_s')}s) "
+            f"fired before the shift (t={drift.get('shift_time_s')}s): the "
+            "in-regime prefix tripped the detector"
+        )
+    if float(cand_imp["p95_ratio"]) < p95_threshold:
+        failures.append(
+            f"p95 improvement regressed: {float(cand_imp['p95_ratio']):.2f}x "
+            f"< {p95_threshold:.2f}x ({args.max_regression:.0%} below "
+            f"baseline {float(base_imp['p95_ratio']):.2f}x)"
+        )
+    if float(cand_imp["cost_ratio"]) < cost_threshold:
+        failures.append(
+            f"cost improvement regressed: {float(cand_imp['cost_ratio']):.2f}x "
+            f"< {cost_threshold:.2f}x ({args.max_regression:.0%} below "
+            f"baseline {float(base_imp['cost_ratio']):.2f}x)"
+        )
+    for side in ("frozen", "adaptive"):
+        if not bool(candidate[side].get("capacity_respected", True)):
+            failures.append(
+                f"capacity invariant violated: the {side} serve exceeded "
+                "its provisioned pool"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True)
@@ -424,6 +516,8 @@ def main(argv=None) -> int:
         failures = compare_fleet(baseline, candidate, args)
     elif baseline["schema"] == SERVE_SCHEMA:
         failures = compare_serve(baseline, candidate, args)
+    elif baseline["schema"] == ADAPT_SCHEMA:
+        failures = compare_adapt(baseline, candidate, args)
     else:
         failures = compare_scale(baseline, candidate, args)
 

@@ -18,6 +18,12 @@ cannot have.  This subpackage simulates that setting end to end:
   trained AutoExecutor behind a plan-signature memo cache with batched
   portable-runtime inference, so per-query selection overhead is measured
   rather than assumed;
+- :mod:`~repro.fleet.adaptive` — continual learning: finished-query
+  outcomes feed a bounded seed-deterministic replay buffer through the
+  engines' feedback hook, a drift detector watches rolling prediction
+  error, and retrained models shadow-score live traffic before being
+  hot-swapped behind the prediction service (generation-tagged cache
+  invalidation), with the retraining bill priced into the metrics;
 - :mod:`~repro.fleet.metrics` — fleet-level serving metrics: latency
   percentiles, queueing delay, pool utilization, and dollar cost
   (including the bill for autoscaled-but-idle capacity), with
@@ -67,6 +73,13 @@ Quickstart::
 """
 
 from repro.engine.faults import FaultPlan, FaultStats, SpotMarket
+from repro.fleet.adaptive import (
+    AdaptiveConfig,
+    AdaptiveController,
+    DriftDetector,
+    ReplayBuffer,
+    ReplayPoint,
+)
 from repro.fleet.admission import (
     AdmissionRequest,
     CapacityArbiter,
@@ -83,6 +96,7 @@ from repro.fleet.arrivals import (
 from repro.fleet.autoscaler import AutoscalerConfig, PoolAutoscaler
 from repro.fleet.cluster import PoolSpec, ShardedFleet
 from repro.fleet.engine import (
+    FeedbackSink,
     FleetConfig,
     FleetEngine,
     PoolRuntime,
@@ -92,6 +106,7 @@ from repro.fleet.engine import (
     static_allocator,
 )
 from repro.fleet.metrics import (
+    AdaptiveStats,
     ClusterMetrics,
     FleetMetrics,
     PoolStreamStats,
@@ -124,6 +139,13 @@ __all__ = [
     "FleetConfig",
     "StreamingConfig",
     "PoolRuntime",
+    "FeedbackSink",
+    "AdaptiveConfig",
+    "AdaptiveController",
+    "AdaptiveStats",
+    "DriftDetector",
+    "ReplayBuffer",
+    "ReplayPoint",
     "ProcessShardExecutor",
     "FaultPlan",
     "FaultStats",

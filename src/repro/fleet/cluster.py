@@ -402,7 +402,7 @@ class ShardedFleet:
                         )
                     )
                 runtimes[chosen].submit(
-                    now, q, arrival, budget, cached, seconds, notes.pop(q)
+                    now, q, arrival, budget, cached, seconds, notes.pop(q), estimate
                 )
             elif kind == "driver_done":
                 runtimes[pool].handle_driver_done(now, q)
@@ -478,7 +478,18 @@ class ShardedFleet:
                 TraceEvent(window[1], "serve_end", -1, -1, None, {"queries": total})
             )
         pool_metrics = [runtime.finalize(serving_window=window) for runtime in runtimes]
-        return ClusterMetrics(pools=pool_metrics, records=records, pool_of=placed)
+        metrics = ClusterMetrics(
+            pools=pool_metrics, records=records, pool_of=placed
+        )
+        feedback = config.feedback
+        if feedback is not None:
+            # One cluster-wide sink, so its ledger attaches once at the
+            # cluster level (never per pool — the roll-up would double
+            # count the retraining bill).
+            snapshot = getattr(feedback, "stats_snapshot", None)
+            if callable(snapshot):
+                metrics.adaptive = snapshot()
+        return metrics
 
 
 def _raise_cluster_stalled(runtimes: Sequence[PoolRuntime], unfinished: int) -> None:

@@ -51,7 +51,7 @@ import itertools
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Protocol, Sequence
 
 import numpy as np
 
@@ -65,6 +65,7 @@ from repro.engine.execution import (
     compile_plan,
 )
 from repro.engine.faults import FaultInjector, FaultPlan
+from repro.engine.plan import LogicalPlan
 from repro.engine.skyline import Skyline
 from repro.engine.stages import StageGraph
 from repro.fleet.admission import (
@@ -78,6 +79,7 @@ from repro.obs.trace import TraceEvent, Tracer
 from repro.workloads.generator import Workload
 
 __all__ = [
+    "FeedbackSink",
     "FleetConfig",
     "FleetEngine",
     "PoolRuntime",
@@ -94,6 +96,35 @@ Allocator = Callable[[str, object], object]
 #: A scaling factory maps an admitted budget to the per-query policy that
 #: governs mid-run growth and idle release for that query.
 ScalingFactory = Callable[[int], AllocationPolicy]
+
+
+class FeedbackSink(Protocol):
+    """Outcome feedback: the prediction → observation loop's receiver.
+
+    A sink attached as :attr:`FleetConfig.feedback` is called once per
+    finished query, on the simulation clock, with everything the
+    continual-learning loop needs: the finished
+    :class:`~repro.fleet.metrics.QueryRecord` (observed runtime, granted
+    budget, the execution log when :attr:`FleetConfig.record_logs` is
+    on), the allocator's predicted runtime at decision time (``None``
+    for non-predictive allocators), and the optimized plan whose
+    features the prediction was made from.
+
+    The hook runs *inside* the serve loop — a sink that hot-swaps the
+    scorer behind a :class:`~repro.fleet.prediction.PredictionService`
+    changes every decision after the current instant, which is exactly
+    how :class:`repro.fleet.adaptive.AdaptiveController` closes the
+    loop.  ``None`` (the default) is the zero-cost off switch: no
+    per-finish work, bit-identical to the frozen serve.
+    """
+
+    def observe(
+        self,
+        now: float,
+        record: QueryRecord,
+        predicted_runtime_seconds: float | None,
+        plan: LogicalPlan,
+    ) -> None: ...
 
 
 @dataclass(frozen=True)
@@ -172,6 +203,11 @@ class FleetConfig:
             of retaining them, free all per-query state eagerly, accept
             generator arrival streams (time-ordered; consumed lazily),
             and optionally spool records to JSONL.
+        feedback: optional :class:`FeedbackSink` receiving every finished
+            query's outcome (record, predicted runtime, optimized plan)
+            on the simulation clock — the continual-learning loop's
+            entry point (:mod:`repro.fleet.adaptive`).  ``None`` (the
+            default) serves bit-identically to a feedback-free engine.
     """
 
     scheduler: SchedulerConfig = DEFAULT_SCHEDULER_CONFIG
@@ -183,6 +219,7 @@ class FleetConfig:
     faults: FaultPlan | None = None
     record_logs: bool = False
     streaming: StreamingConfig | bool | None = None
+    feedback: FeedbackSink | None = None
 
     def __post_init__(self) -> None:
         # Normalize the shorthand: streaming=True means the defaults,
@@ -243,6 +280,7 @@ class _QueryRun:
     admit_time: float
     prediction_cached: bool | None
     prediction_seconds: float
+    estimated_runtime_seconds: float | None
     emit: Callable[[float, int, int], None]
     policy: AllocationPolicy | None = None
     injector: FaultInjector | None = None
@@ -316,7 +354,8 @@ class PoolRuntime:
         self.runs: dict[int, _QueryRun] = {}
         self.records: dict[int, QueryRecord] = {}
         self._pending: dict[
-            int, tuple[QueryArrival, bool | None, float, dict | None]
+            int,
+            tuple[QueryArrival, bool | None, float, dict | None, float | None],
         ] = {}
         self._compiled = compiled
         self._ec = cluster.cores_per_executor
@@ -481,6 +520,7 @@ class PoolRuntime:
         cached: bool | None,
         prediction_seconds: float,
         annotations: dict | None = None,
+        estimated_runtime_seconds: float | None = None,
     ) -> None:
         """Queue a routed query's budget request on this pool.
 
@@ -500,7 +540,13 @@ class PoolRuntime:
                 arrival.query_id,
                 {"executors": budget},
             )
-        self._pending[q] = (arrival, cached, prediction_seconds, annotations)
+        self._pending[q] = (
+            arrival,
+            cached,
+            prediction_seconds,
+            annotations,
+            estimated_runtime_seconds,
+        )
         self.arbiter.submit(
             AdmissionRequest(
                 query_index=q,
@@ -530,7 +576,7 @@ class PoolRuntime:
 
     def _start_query(self, now: float, request: AdmissionRequest) -> None:
         q = request.query_index
-        arrival, cached, pred_seconds, annotations = self._pending.pop(q)
+        arrival, cached, pred_seconds, annotations, estimate = self._pending.pop(q)
         graph = self.workload.stage_graph(arrival.query_id)
         policy = None
         if self.config.scaling is not None:
@@ -559,6 +605,7 @@ class PoolRuntime:
             admit_time=now,
             prediction_cached=cached,
             prediction_seconds=pred_seconds,
+            estimated_runtime_seconds=estimate,
             emit=lambda t, sid, eid, q=q: self.push(t, "task_done", q, (sid, eid)),
             policy=policy,
             injector=injector,
@@ -736,6 +783,19 @@ class PoolRuntime:
             annotations=run.annotations,
             execution_log=run.core.build_log(),
         )
+        feedback = self.config.feedback
+        if feedback is not None:
+            # The outcome loop: hand the finished query back to the sink
+            # before the record is folded/stored, so a sink that swaps
+            # the model affects every decision after this instant.  The
+            # optimized-plan lookup hits the workload's memo (the same
+            # object the allocator featurized).
+            feedback.observe(
+                now,
+                record,
+                run.estimated_runtime_seconds,
+                self.workload.optimized_plan(run.arrival.query_id),
+            )
         if stats is None:
             self.records[q] = record
             return
@@ -927,7 +987,8 @@ class FleetEngine:
         )
         tracer = self.tracer
         decisions: dict[
-            int, tuple[QueryArrival, int, bool | None, float, dict]
+            int,
+            tuple[QueryArrival, int, bool | None, float, float | None, dict],
         ] = {}
         total = 0
         finished = 0
@@ -984,7 +1045,7 @@ class FleetEngine:
                     decision, self.capacity
                 )
                 notes = allocator_annotations(self.allocator, decision)
-                decisions[q] = (arrival, budget, cached, seconds, notes)
+                decisions[q] = (arrival, budget, cached, seconds, estimate, notes)
                 if tracer is not None:
                     tracer.emit(
                         TraceEvent(now, "query_arrive", 0, q, arrival.query_id)
@@ -1010,8 +1071,10 @@ class FleetEngine:
                 if not exhausted:
                     pull_arrival()
             elif kind == "submit":
-                arrival, budget, cached, seconds, notes = decisions.pop(q)
-                runtime.submit(now, q, arrival, budget, cached, seconds, notes)
+                arrival, budget, cached, seconds, estimate, notes = decisions.pop(q)
+                runtime.submit(
+                    now, q, arrival, budget, cached, seconds, notes, estimate
+                )
             elif kind == "driver_done":
                 runtime.handle_driver_done(now, q)
             elif kind == "exec_arrive":
@@ -1048,7 +1111,16 @@ class FleetEngine:
             tracer.emit(
                 TraceEvent(now, "serve_end", -1, -1, None, {"queries": total})
             )
-        return runtime.finalize()
+        metrics = runtime.finalize()
+        feedback = config.feedback
+        if feedback is not None:
+            # A sink that keeps ledger state (AdaptiveController) hands
+            # its end-of-run snapshot to the metrics; plain sinks without
+            # one leave the field None.
+            snapshot = getattr(feedback, "stats_snapshot", None)
+            if callable(snapshot):
+                metrics.adaptive = snapshot()
+        return metrics
 
 
 def validate_stream(arrivals: Sequence[QueryArrival]) -> list[QueryArrival]:

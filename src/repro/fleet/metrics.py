@@ -49,6 +49,7 @@ from repro.sparklens.log import ExecutionLog
 
 __all__ = [
     "DEFAULT_PRICE_PER_CORE_HOUR",
+    "AdaptiveStats",
     "QueryRecord",
     "SkylineTracker",
     "PoolStreamStats",
@@ -343,6 +344,62 @@ class PoolStreamStats(StreamingFleetStats):
         )
 
 
+@dataclass
+class AdaptiveStats:
+    """The continual-learning ledger of one adaptive serve.
+
+    Snapshot of :class:`repro.fleet.adaptive.AdaptiveController` state at
+    the end of a run, attached to :class:`FleetMetrics` /
+    :class:`ClusterMetrics` by the fleet drivers so retraining shows up
+    in the same place every other serving cost does.
+
+    Attributes:
+        observations: finished queries fed back into the loop.
+        drift_alarms: times the rolling prediction error crossed the
+            configured threshold.
+        retrains: completed retraining passes (each producing a shadow
+            candidate).
+        promotions: shadow candidates that won validation and were
+            hot-swapped behind the prediction service.
+        rejections: shadow candidates that lost validation and were
+            dropped.
+        model_generation: the prediction service's generation counter at
+            the end of the run (0 = the frozen model served throughout).
+        buffer_size: replay-buffer occupancy at the end of the run.
+        retrain_points: total training points consumed across retrains.
+        retrain_executor_seconds: the modeled executor-seconds spent
+            retraining (deterministic — priced into
+            :attr:`FleetMetrics.total_dollar_cost`, never measured wall
+            clock).
+        last_drift_error: the rolling mean relative error at the last
+            observation (0.0 before any window fills).
+    """
+
+    observations: int = 0
+    drift_alarms: int = 0
+    retrains: int = 0
+    promotions: int = 0
+    rejections: int = 0
+    model_generation: int = 0
+    buffer_size: int = 0
+    retrain_points: int = 0
+    retrain_executor_seconds: float = 0.0
+    last_drift_error: float = 0.0
+
+    def as_summary(self, retrain_dollar_cost: float) -> dict[str, float]:
+        """The flat summary keys the metrics objects merge in."""
+        return {
+            "adaptive_observations": float(self.observations),
+            "drift_alarms": float(self.drift_alarms),
+            "model_retrains": float(self.retrains),
+            "model_promotions": float(self.promotions),
+            "model_rejections": float(self.rejections),
+            "model_generation": float(self.model_generation),
+            "retrain_executor_seconds": self.retrain_executor_seconds,
+            "retrain_dollar_cost": retrain_dollar_cost,
+        }
+
+
 def _latency_percentile(records: Sequence[QueryRecord], q: float) -> float:
     if not records:
         return 0.0
@@ -408,6 +465,11 @@ class FleetMetrics:
             instead (percentiles become sketch estimates within the
             configured relative accuracy; totals, windows, and costs
             stay exact).  ``None`` for record-backed metrics.
+        adaptive: the continual-learning ledger
+            (:class:`AdaptiveStats`) when the serve ran with a feedback
+            sink that keeps one; ``None`` for frozen serves.  Its
+            modeled retraining executor-seconds are priced into
+            :attr:`total_dollar_cost`.
     """
 
     capacity: int
@@ -418,6 +480,7 @@ class FleetMetrics:
     serving_window: tuple[float, float] | None = None
     price_per_core_hour: float = DEFAULT_PRICE_PER_CORE_HOUR
     stats: PoolStreamStats | None = None
+    adaptive: AdaptiveStats | None = None
     _fault_stats: FaultStats | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -646,8 +709,21 @@ class FleetMetrics:
         )
 
     @property
+    def retrain_executor_seconds(self) -> float:
+        """Modeled executor-seconds spent retraining (zero when frozen)."""
+        if self.adaptive is None:
+            return 0.0
+        return self.adaptive.retrain_executor_seconds
+
+    @property
+    def retrain_dollar_cost(self) -> float:
+        """The retraining bill, at the pool's own core-hour rate."""
+        return self._dollars(self.retrain_executor_seconds)
+
+    @property
     def total_dollar_cost(self) -> float:
-        """Occupancy cost plus the bill for autoscaled-but-idle capacity.
+        """Occupancy cost plus the bill for autoscaled-but-idle capacity
+        and (for adaptive serves) model retraining.
 
         A statically provisioned pool charges pure occupancy (the
         paper's metric); capacity an autoscaler provisioned is paid for
@@ -656,9 +732,14 @@ class FleetMetrics:
         full on-demand rate — spot classification exists only for
         executor instances that actually arrived, so the conservative
         choice is to price the unoccupied provisioned gap as on-demand.
+        An adaptive serve additionally pays for its retraining passes
+        (modeled executor-seconds, full price) — the adaptive-vs-frozen
+        comparisons are honest only if retraining is on the bill.
         """
         return self._dollars(
-            self.billed_occupancy_seconds + self.idle_capacity_seconds
+            self.billed_occupancy_seconds
+            + self.idle_capacity_seconds
+            + self.retrain_executor_seconds
         )
 
     @property
@@ -705,9 +786,14 @@ class FleetMetrics:
         )
 
     def summary(self) -> dict[str, float]:
-        """The headline numbers as a flat dict (benchmark-friendly)."""
+        """The headline numbers as a flat dict (benchmark-friendly).
+
+        Adaptive serves gain the continual-learning keys
+        (:meth:`AdaptiveStats.as_summary`); frozen serves keep the
+        pre-adaptive key set bit-identically.
+        """
         stats = self.fault_stats
-        return {
+        out = {
             "n_queries": float(self.n_queries),
             "makespan_s": self.makespan,
             "p50_latency_s": self.p50_latency,
@@ -729,6 +815,9 @@ class FleetMetrics:
             "spot_executor_seconds": float(stats.spot_executor_seconds),
             "spot_dollar_cost": self.spot_dollar_cost,
         }
+        if self.adaptive is not None:
+            out.update(self.adaptive.as_summary(self.retrain_dollar_cost))
+        return out
 
     def describe(self) -> str:
         """A human-readable one-run report."""
@@ -749,6 +838,14 @@ class FleetMetrics:
             f"provisioned cost      ${s['provisioned_dollar_cost']:9.2f}",
             f"prediction cache hit  {s['prediction_cache_hit_rate']:10.1%}",
         ]
+        if self.adaptive is not None:
+            a = self.adaptive
+            lines.append(
+                f"continual learning    gen {a.model_generation}, "
+                f"{a.retrains} retrains ({a.promotions} promoted, "
+                f"{a.rejections} rejected), {a.drift_alarms} drift alarms, "
+                f"retrain cost ${self.retrain_dollar_cost:.2f}"
+            )
         faulted = (
             self.stats.fault is not None
             if self.stats is not None
@@ -785,12 +882,18 @@ class ClusterMetrics:
             (empty for a streaming serve).
         price_per_core_hour: billing rate (pools carry their own copy;
             this one prices nothing, it is echoed for reporting).
+        adaptive: the cluster-wide continual-learning ledger
+            (:class:`AdaptiveStats`) when the serve ran with a feedback
+            sink — attached here, never per pool, because the loop is
+            one shared model across all pools and its retraining bill
+            must be counted once.
     """
 
     pools: list[FleetMetrics]
     records: list[QueryRecord] = field(default_factory=list)
     pool_of: list[int] = field(default_factory=list)
     price_per_core_hour: float = DEFAULT_PRICE_PER_CORE_HOUR
+    adaptive: AdaptiveStats | None = None
     _merged_stats: StreamingFleetStats | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -884,8 +987,26 @@ class ClusterMetrics:
         return sum(pool.provisioned_executor_seconds for pool in self.pools)
 
     @property
+    def retrain_executor_seconds(self) -> float:
+        """Modeled retraining executor-seconds (zero when frozen)."""
+        if self.adaptive is None:
+            return 0.0
+        return self.adaptive.retrain_executor_seconds
+
+    @property
+    def retrain_dollar_cost(self) -> float:
+        """The cluster's one retraining bill (priced at pool 0's rate —
+        all pools in a fleet share an executor shape and rate)."""
+        if self.adaptive is None or not self.pools:
+            return 0.0
+        return self.pools[0]._dollars(self.retrain_executor_seconds)
+
+    @property
     def total_dollar_cost(self) -> float:
-        return sum(pool.total_dollar_cost for pool in self.pools)
+        return (
+            sum(pool.total_dollar_cost for pool in self.pools)
+            + self.retrain_dollar_cost
+        )
 
     @property
     def idle_capacity_dollar_cost(self) -> float:
@@ -957,8 +1078,10 @@ class ClusterMetrics:
         return [pool.n_queries for pool in self.pools]
 
     def summary(self) -> dict[str, float]:
-        """The cluster's headline numbers as a flat dict."""
-        return {
+        """The cluster's headline numbers as a flat dict (adaptive
+        serves gain the continual-learning keys, like
+        :meth:`FleetMetrics.summary`)."""
+        out = {
             "n_pools": float(self.n_pools),
             "n_queries": float(self.n_queries),
             "makespan_s": self.makespan,
@@ -980,6 +1103,9 @@ class ClusterMetrics:
             "spot_executor_seconds": float(self.spot_executor_seconds),
             "spot_dollar_cost": self.spot_dollar_cost,
         }
+        if self.adaptive is not None:
+            out.update(self.adaptive.as_summary(self.retrain_dollar_cost))
+        return out
 
     def describe(self) -> str:
         """A human-readable cluster report with a per-pool breakdown."""
@@ -999,6 +1125,14 @@ class ClusterMetrics:
             f"provisioned cost      ${s['provisioned_dollar_cost']:9.2f}",
             f"prediction cache hit  {s['prediction_cache_hit_rate']:10.1%}",
         ]
+        if self.adaptive is not None:
+            a = self.adaptive
+            lines.append(
+                f"continual learning    gen {a.model_generation}, "
+                f"{a.retrains} retrains ({a.promotions} promoted, "
+                f"{a.rejections} rejected), {a.drift_alarms} drift alarms, "
+                f"retrain cost ${self.retrain_dollar_cost:.2f}"
+            )
         faulted = any(
             pool.stats.fault is not None
             if pool.stats is not None

@@ -308,6 +308,13 @@ class ProcessShardExecutor:
             )
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        if config.feedback is not None:
+            raise ValueError(
+                "ProcessShardExecutor cannot run a feedback sink: the "
+                "outcome loop mutates one shared model, and per-worker "
+                "copies would silently diverge; use the single-process "
+                "ShardedFleet for continual learning"
+            )
         self.workload = workload
         self.pools = specs
         self.allocator = allocator

@@ -92,6 +92,11 @@ class PredictionService:
             events are stamped at time ``0.0`` — they account for the
             service, not the fleet timeline (the engines emit the
             on-clock ``query_predict`` events).
+        features_memo_size: bound on the per-query featurization memo.
+            The memo is an LRU: the streaming-mode O(1)-memory contract
+            forbids any per-query state that outlives the bound, and an
+            evicted entry only costs a re-featurization on its next
+            arrival — never a wrong answer.
     """
 
     def __init__(
@@ -102,22 +107,34 @@ class PredictionService:
         min_executors: int = 1,
         max_executors: int = 48,
         tracer: Tracer | None = None,
+        features_memo_size: int = 4096,
     ) -> None:
         if min_executors < 1 or max_executors < min_executors:
             raise ValueError("invalid executor clamp range")
+        if features_memo_size < 1:
+            raise ValueError("features_memo_size must be positive")
         self.scorer = scorer
         self.n_grid = np.asarray(n_grid)
         self.objective = objective
         self.min_executors = int(min_executors)
         self.max_executors = int(max_executors)
         self.tracer = tracer
-        # signature -> (chosen count, predicted runtime at that count)
-        self._cache: dict[tuple[float, ...], tuple[int, float]] = {}
+        self.features_memo_size = int(features_memo_size)
+        #: Model generation: bumped by :meth:`invalidate` (and so by
+        #: :meth:`swap_scorer`).  Every memo-cache entry is tagged with
+        #: the generation that produced it, so a decision can never be
+        #: served from a model that is no longer behind the service.
+        self.generation = 0
+        # signature -> (generation, chosen count, predicted runtime)
+        self._cache: dict[tuple[float, ...], tuple[int, int, float]] = {}
         # Featurization memo for the fleet path, keyed like the engine's
         # compiled-plan memo: one optimized plan per query id, so the id
         # keys its feature vector and recurring arrivals skip the plan
         # walk.  The plan object rides along as an identity guard — if a
-        # query id ever maps to a new plan, it is re-featurized.
+        # query id ever maps to a new plan, it is re-featurized.  The
+        # dict is used as an LRU (insertion order = recency; hits
+        # reinsert) and bounded by ``features_memo_size``; it survives
+        # :meth:`invalidate` because features are model-independent.
         self._features_by_query: dict[str, tuple[object, QueryFeatures]] = {}
         self.hits = 0
         self.misses = 0
@@ -150,6 +167,39 @@ class PredictionService:
     @property
     def cache_size(self) -> int:
         return len(self._cache)
+
+    @property
+    def features_memo_len(self) -> int:
+        """Current size of the bounded per-query featurization memo."""
+        return len(self._features_by_query)
+
+    def invalidate(self) -> None:
+        """Drop every memoized decision and bump the model generation.
+
+        Call this whenever the scorer's answers may have changed (a
+        scorer swap does it for you).  The featurization memo survives:
+        features are compile-time properties of the plan, independent of
+        the model behind the service.
+        """
+        self.generation += 1
+        self._cache.clear()
+
+    def swap_scorer(self, scorer: PPMScorer) -> int:
+        """Hot-swap the model behind the service.
+
+        Atomic from a caller's view: the scorer is replaced, the batch
+        capability re-probed, the fallback announcement re-armed for the
+        new scorer, and every cached decision invalidated, so the next
+        decision — cached or not — comes from the new model.
+
+        Returns:
+            The new model generation.
+        """
+        self.scorer = scorer
+        self.batched = callable(getattr(scorer, "predict_ppm_batch", None))
+        self._fallback_traced = False
+        self.invalidate()
+        return self.generation
 
     def mean_overhead_seconds(self) -> float:
         served = self.hits + self.misses
@@ -206,14 +256,15 @@ class PredictionService:
     def _serve(self, features: QueryFeatures, start: float) -> Prediction:
         """Cache lookup + (on miss) inference, timed from ``start``."""
         key = self.signature(features)
-        cached = key in self._cache
-        if cached:
+        entry = self._cache.get(key)
+        cached = entry is not None and entry[0] == self.generation
+        if cached and entry is not None:
             self.hits += 1
-            chosen, runtime = self._cache[key]
+            _, chosen, runtime = entry
         else:
             self.misses += 1
             chosen, runtime = self._select(self.scorer.predict_ppm(features))
-            self._cache[key] = (chosen, runtime)
+            self._cache[key] = (self.generation, chosen, runtime)
         elapsed = time.perf_counter() - start
         self.total_seconds += elapsed
         if self.tracer is not None:
@@ -255,7 +306,9 @@ class PredictionService:
         miss_order: list[int] = []
         seen: set[tuple[float, ...]] = set()
         for i, key in enumerate(keys):
-            if key not in self._cache and key not in seen:
+            entry = self._cache.get(key)
+            live = entry is not None and entry[0] == self.generation
+            if not live and key not in seen:
                 miss_order.append(i)
                 seen.add(key)
 
@@ -273,7 +326,7 @@ class PredictionService:
                     for i in miss_order
                 ]
             for i, ppm in zip(miss_order, ppms):
-                self._cache[keys[i]] = self._select(ppm)
+                self._cache[keys[i]] = (self.generation, *self._select(ppm))
 
         elapsed = time.perf_counter() - start
         per_miss = elapsed / len(miss_order) if miss_order else 0.0
@@ -286,7 +339,7 @@ class PredictionService:
             else:
                 self.misses += 1
                 missed.discard(key)  # later repeats in the batch are hits
-            chosen, runtime = self._cache[key]
+            _, chosen, runtime = self._cache[key]
             out.append(
                 Prediction(
                     executors=chosen,
@@ -307,12 +360,20 @@ class PredictionService:
         memo lookup and any featurization stay inside the measured
         window, so ``Prediction.seconds`` keeps its "featurize + lookup"
         contract.
+
+        The memo is a bounded LRU (``features_memo_size``): a hit
+        refreshes the entry's recency, an insert past the bound evicts
+        the least-recently-used query id.  Eviction is invisible except
+        in cost — the evicted query re-featurizes on its next arrival.
         """
         start = time.perf_counter()
-        entry = self._features_by_query.get(query_id)
+        memo = self._features_by_query
+        entry = memo.pop(query_id, None)
         if entry is None or entry[0] is not plan:
             entry = (plan, self._featurize(plan))
-            self._features_by_query[query_id] = entry
+        memo[query_id] = entry  # reinsert = most recently used
+        while len(memo) > self.features_memo_size:
+            memo.pop(next(iter(memo)))
         return self._serve(entry[1], start)
 
     # Bound methods proxy attribute reads to the function, so the fleet

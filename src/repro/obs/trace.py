@@ -90,6 +90,16 @@ EVENT_KINDS = frozenset(
         # a scorer without predict_ppm_batch.
         "prediction",
         "prediction_fallback",
+        # Continual learning (repro.fleet.adaptive): drift_alarm fires
+        # when the rolling prediction error crosses the configured
+        # threshold; model_retrain marks a completed retraining pass
+        # (candidate entering shadow validation); model_promote marks a
+        # shadow candidate winning and being hot-swapped behind the
+        # prediction service.  All three are on the simulation clock —
+        # they fire inside the fleet's query-finish feedback hook.
+        "drift_alarm",
+        "model_retrain",
+        "model_promote",
         # HTTP serving layer (repro.serve): one event per handled request
         # and one per coalesced inference dispatch.  Off the simulation
         # clock like the prediction events.

@@ -292,6 +292,7 @@ class RecommendApp:
                 "misses": service.misses,
                 "hit_rate": service.hits / decisions if decisions else 0.0,
                 "cache_size": service.cache_size,
+                "model_generation": service.generation,
                 "batched": service.batched,
                 "mean_overhead_ms": service.mean_overhead_seconds() * 1e3,
             },

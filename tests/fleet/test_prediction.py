@@ -117,6 +117,127 @@ class TestAllocateFeaturizationMemo:
         assert via_allocate.executors == via_predict.executors
 
 
+class TestGenerationAndSwap:
+    """The stale-model fix: every cached decision is generation-tagged,
+    and a scorer swap invalidates the lot atomically."""
+
+    def test_invalidate_bumps_generation_and_clears_cache(self):
+        service = PredictionService(CountingScorer())
+        service.predict(features(1.0))
+        assert service.generation == 0
+        assert service.cache_size == 1
+        service.invalidate()
+        assert service.generation == 1
+        assert service.cache_size == 0
+
+    def test_invalidate_keeps_featurization_memo(self):
+        # Features are compile-time plan properties, model-independent:
+        # a model swap must not force recurring queries to re-walk plans.
+        service = PredictionService(CountingScorer())
+        workload = Workload(scale_factor=10, query_ids=("q1",))
+        service.allocate("q1", workload.optimized_plan("q1"))
+        service.invalidate()
+        assert service.features_memo_len == 1
+
+    def test_stale_generation_entry_is_a_miss(self):
+        # Belt and braces: even an entry that somehow survived the clear
+        # is dead, because its generation tag no longer matches.
+        scorer = CountingScorer()
+        service = PredictionService(scorer)
+        service.predict(features(1.0))
+        key, entry = next(iter(service._cache.items()))
+        service.invalidate()
+        service._cache[key] = entry  # resurrect a generation-0 entry
+        pred = service.predict(features(1.0))
+        assert pred.cached is False
+        assert scorer.calls == 2
+        assert service._cache[key][0] == 1  # re-tagged at the new generation
+
+    def test_swap_scorer_serves_the_new_model(self):
+        class SlowerScorer(CountingScorer):
+            def predict_ppm(self, features):
+                self.calls += 1
+                return PowerLawPPM(a=-0.8, b=800.0, m=20.0)
+
+        service = PredictionService(CountingScorer())
+        before = service.predict(features(1.0))
+        generation = service.swap_scorer(SlowerScorer())
+        assert generation == 1
+        assert service.generation == 1
+        after = service.predict(features(1.0))
+        # Without invalidation this would be a cache hit serving the old
+        # model's decision — the exact stale-model bug.
+        assert after.cached is False
+        assert (
+            after.estimated_runtime_seconds != before.estimated_runtime_seconds
+        )
+
+    def test_swap_reprobes_batch_capability(self):
+        class BatchScorer(CountingScorer):
+            def predict_ppm_batch(self, matrix):
+                return [self.predict_ppm(None) for _ in np.atleast_2d(matrix)]
+
+        service = PredictionService(CountingScorer())
+        assert service.batched is False
+        service.swap_scorer(BatchScorer())
+        assert service.batched is True
+        service.swap_scorer(CountingScorer())
+        assert service.batched is False
+
+    def test_swap_rearms_fallback_announcement(self):
+        from repro.obs.trace import RingBufferTracer
+
+        tracer = RingBufferTracer()
+        service = PredictionService(CountingScorer(), tracer=tracer)
+        service.predict_batch([features(1.0)])
+        service.swap_scorer(CountingScorer())
+        service.predict_batch([features(2.0)])
+        kinds = [e.kind for e in tracer.events]
+        # Once per scorer lifetime: the swap started a new lifetime.
+        assert kinds.count("prediction_fallback") == 2
+
+
+class TestFeaturesMemoLRU:
+    """The unbounded-memo fix: ``_features_by_query`` is a bounded LRU."""
+
+    def test_bound_enforced_with_lru_eviction(self):
+        service = PredictionService(CountingScorer(), features_memo_size=4)
+        workload = Workload(scale_factor=10, query_ids=("q1",))
+        plan = workload.optimized_plan("q1")
+        for i in range(12):
+            service.allocate(f"id{i}", plan)
+        assert service.features_memo_len == 4
+        assert list(service._features_by_query) == ["id8", "id9", "id10", "id11"]
+
+    def test_hit_refreshes_recency(self):
+        service = PredictionService(CountingScorer(), features_memo_size=2)
+        workload = Workload(scale_factor=10, query_ids=("q1",))
+        plan = workload.optimized_plan("q1")
+        service.allocate("a", plan)
+        service.allocate("b", plan)
+        service.allocate("a", plan)  # refresh: "a" is now most recent
+        service.allocate("c", plan)  # evicts "b", not "a"
+        assert list(service._features_by_query) == ["a", "c"]
+
+    def test_eviction_only_costs_refeaturization(self):
+        scorer = CountingScorer()
+        service = PredictionService(scorer, features_memo_size=1)
+        workload = Workload(scale_factor=10, query_ids=("q1",))
+        plan = workload.optimized_plan("q1")
+        first = service.allocate("a", plan)
+        service.allocate("b", plan)  # evicts "a"
+        again = service.allocate("a", plan)  # re-featurizes, same signature
+        assert again.executors == first.executors
+        assert again.cached is True
+        assert scorer.calls == 1  # the signature cache still absorbed it
+        assert service.misses == 1
+        assert service.hits == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PredictionService(CountingScorer(), features_memo_size=0)
+
+
 class TestBatching:
     def test_batch_matches_sequential(self):
         plans = [features(float(i % 3)) for i in range(7)]

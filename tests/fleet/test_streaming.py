@@ -389,6 +389,56 @@ class TestMemoryFlatness:
             assert records <= 2, samples
             assert skylines <= 300, samples
 
+    def test_features_memo_bounded_across_unique_ids(self, workload):
+        """The allocator-side featurization memo obeys its LRU bound
+        even when every arrival carries a fresh query id — sampled
+        mid-stream, like the live-object counts above, so growth can't
+        hide behind an end-of-run assertion."""
+        from repro.core.ppm import PowerLawPPM
+        from repro.fleet.prediction import PredictionService
+
+        class FixedScorer:
+            def predict_ppm(self, features):
+                return PowerLawPPM(a=-0.8, b=60.0, m=2.0)
+
+        class RecurringPlan:
+            """One real plan behind an endless supply of query ids."""
+
+            def __init__(self, base):
+                self._plan = base.optimized_plan("q1")
+                self._graph = base.stage_graph("q1")
+
+            def optimized_plan(self, query_id):
+                return self._plan
+
+            def stage_graph(self, query_id):
+                return self._graph
+
+        service = PredictionService(
+            FixedScorer(), features_memo_size=16, max_executors=4
+        )
+        samples = []
+
+        def stream():
+            for i in range(600):
+                if i and i % 150 == 0:
+                    samples.append(service.features_memo_len)
+                yield QueryArrival(i, f"u{i}", 0, i * 0.1)
+
+        metrics = FleetEngine(
+            RecurringPlan(workload),
+            capacity=48,
+            allocator=service.allocate,
+            config=FleetConfig(streaming=True),
+        ).serve(stream())
+        assert metrics.stats.n_queries == 600
+        assert len(samples) == 3
+        assert all(s <= 16 for s in samples), samples
+        assert service.features_memo_len == 16
+        # Eviction never costs a wrong answer: one signature, one miss.
+        assert service.misses == 1
+        assert service.hits == 599
+
     def test_streaming_pool_drops_finished_runs(self, workload):
         """After a streaming serve the engine keeps no per-query state:
         the metrics carry only accumulators."""

@@ -539,6 +539,134 @@ class TestServeGate:
         assert "params drifted" in proc.stderr
 
 
+def adapt_json(
+    p95_ratio=1.55,
+    cost_ratio=1.05,
+    p95_win=True,
+    cost_win=True,
+    alarms=4,
+    fired_after_shift=True,
+    zero_retrain=True,
+    frozen_capacity=True,
+    adaptive_capacity=True,
+):
+    return {
+        "schema": "repro-bench-adapt/v1",
+        "machine": {"python": "3.11", "numpy": "2.0", "platform": "test"},
+        "params": {
+            "queries": ["q1", "q94"],
+            "pre_scale_factor": 100,
+            "post_scale_factor": 10,
+            "n_pre": 24,
+            "n_post": 120,
+            "rate_pre": 0.08,
+            "rate_post": 0.5,
+            "capacity": 48,
+            "seed": 0,
+            "buffer_capacity": 128,
+            "min_retrain_points": 16,
+            "drift_window": 12,
+            "drift_threshold": 0.5,
+            "shadow_window": 10,
+            "n_estimators": 24,
+        },
+        "frozen": {
+            "p95_latency_s": 149.0,
+            "total_dollar_cost": 3.41,
+            "capacity_respected": frozen_capacity,
+        },
+        "adaptive": {
+            "p95_latency_s": 149.0 / p95_ratio,
+            "total_dollar_cost": 3.41 / cost_ratio,
+            "capacity_respected": adaptive_capacity,
+            "drift_alarms": alarms,
+            "retrains": 4,
+            "promotions": 3,
+            "rejections": 1,
+            "model_generation": 3,
+        },
+        "drift": {
+            "alarms": alarms,
+            "shift_time_s": 300.0,
+            "first_alarm_time_s": 346.0 if fired_after_shift else 120.0,
+            "fired_after_shift": fired_after_shift,
+        },
+        "improvement": {"p95_ratio": p95_ratio, "cost_ratio": cost_ratio},
+        "wins": {"p95": p95_win, "cost": cost_win},
+        "parity": {"zero_retrain_bit_identical": zero_retrain},
+    }
+
+
+class TestAdaptGate:
+    def test_equal_run_passes(self, tmp_path):
+        proc = run_gate(tmp_path, adapt_json(), adapt_json())
+        assert proc.returncode == 0, proc.stderr
+        assert "no benchmark regression" in proc.stdout
+
+    def test_lost_zero_retrain_parity_fails(self, tmp_path):
+        proc = run_gate(
+            tmp_path, adapt_json(), adapt_json(zero_retrain=False)
+        )
+        assert proc.returncode == 1
+        assert "no longer serves bit-identically" in proc.stderr
+
+    def test_lost_p95_win_fails(self, tmp_path):
+        proc = run_gate(tmp_path, adapt_json(), adapt_json(p95_win=False))
+        assert proc.returncode == 1
+        assert "p95" in proc.stderr
+
+    def test_lost_cost_win_fails(self, tmp_path):
+        proc = run_gate(tmp_path, adapt_json(), adapt_json(cost_win=False))
+        assert proc.returncode == 1
+        assert "retraining bill" in proc.stderr
+
+    def test_no_drift_alarm_fails(self, tmp_path):
+        proc = run_gate(tmp_path, adapt_json(), adapt_json(alarms=0))
+        assert proc.returncode == 1
+        assert "no drift alarm fired" in proc.stderr
+
+    def test_alarm_before_shift_fails(self, tmp_path):
+        proc = run_gate(
+            tmp_path, adapt_json(), adapt_json(fired_after_shift=False)
+        )
+        assert proc.returncode == 1
+        assert "fired before the shift" in proc.stderr
+
+    def test_p95_improvement_regression_fails(self, tmp_path):
+        proc = run_gate(tmp_path, adapt_json(), adapt_json(p95_ratio=1.10))
+        assert proc.returncode == 1
+        assert "p95 improvement regressed" in proc.stderr
+
+    def test_cost_improvement_within_tolerance_passes(self, tmp_path):
+        # the cost win is narrow by design (the retrain bill is real);
+        # the ratio gate tolerates --max-regression drift around it
+        proc = run_gate(tmp_path, adapt_json(), adapt_json(cost_ratio=1.01))
+        assert proc.returncode == 0, proc.stderr
+
+    def test_cost_improvement_regression_fails(self, tmp_path):
+        proc = run_gate(
+            tmp_path,
+            adapt_json(),
+            adapt_json(cost_ratio=0.80, cost_win=False),
+        )
+        assert proc.returncode == 1
+        assert "cost improvement regressed" in proc.stderr
+
+    def test_capacity_violation_fails(self, tmp_path):
+        proc = run_gate(
+            tmp_path, adapt_json(), adapt_json(adaptive_capacity=False)
+        )
+        assert proc.returncode == 1
+        assert "capacity invariant violated" in proc.stderr
+
+    def test_params_drift_fails(self, tmp_path):
+        drifted = adapt_json()
+        drifted["params"]["capacity"] = 96
+        proc = run_gate(tmp_path, adapt_json(), drifted)
+        assert proc.returncode == 1
+        assert "params drifted" in proc.stderr
+
+
 def test_checked_in_scale_baseline_is_valid():
     data = json.loads(
         (REPO_ROOT / "benchmarks" / "perf" / "baseline_scale.json").read_text(
@@ -582,6 +710,34 @@ def test_checked_in_serve_baseline_is_valid():
     assert data["cache"]["batched"] is True
     assert data["parity"]["bit_identical"] is True
     assert data["parity"]["mismatches"] == 0
+
+
+def test_checked_in_adapt_baseline_is_valid():
+    data = json.loads(
+        (REPO_ROOT / "benchmarks" / "perf" / "baseline_adapt.json").read_text(
+            encoding="utf-8"
+        )
+    )
+    assert data["schema"] == "repro-bench-adapt/v1"
+    assert data["parity"]["zero_retrain_bit_identical"] is True
+    assert data["wins"]["p95"] is True
+    assert data["wins"]["cost"] is True
+    assert data["improvement"]["p95_ratio"] > 1.0
+    assert data["improvement"]["cost_ratio"] > 1.0
+    assert data["drift"]["alarms"] >= 1
+    assert data["drift"]["fired_after_shift"] is True
+    assert data["drift"]["first_alarm_time_s"] > data["drift"]["shift_time_s"]
+    assert data["frozen"]["capacity_respected"] is True
+    assert data["adaptive"]["capacity_respected"] is True
+    # the wins are backed by the recorded serves, retrain bill included
+    assert data["adaptive"]["p95_latency_s"] < data["frozen"]["p95_latency_s"]
+    assert (
+        data["adaptive"]["total_dollar_cost"]
+        < data["frozen"]["total_dollar_cost"]
+    )
+    assert data["adaptive"]["retrain_dollar_cost"] > 0.0
+    assert data["adaptive"]["promotions"] >= 1
+    assert data["adaptive"]["model_generation"] >= 1
 
 
 def test_checked_in_fleet_baseline_is_valid():
